@@ -1,0 +1,152 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation (Sec. 7.3). Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records a reference run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	benchrunner -exp fig6|fig7|fig8a|fig8b|fig9a|fig9b|titian|perop|fig10|all \
+//	            [-gb 100,200,300,400,500] [-tweets-per-gb 40] [-records-per-gb 400] \
+//	            [-partitions 4] [-reps 3]
+//
+// The -gb values are simulated gigabytes; item densities per GB are
+// configurable (see DESIGN.md for the calibration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"pebble/internal/experiments"
+	"pebble/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig8a, fig8b, fig9a, fig9b, titian, perop, fig10, annotations, all")
+	gbList := flag.String("gb", "", "comma-separated simulated-GB sizes (defaults per experiment)")
+	tweetsPerGB := flag.Int("tweets-per-gb", 40, "tweets per simulated GB")
+	recordsPerGB := flag.Int("records-per-gb", 400, "DBLP records per simulated GB")
+	partitions := flag.Int("partitions", 4, "engine partitions")
+	reps := flag.Int("reps", 3, "measured repetitions per data point")
+	flag.Parse()
+
+	cfg := experiments.Config{Partitions: *partitions, Reps: *reps, Warmup: true}
+	run := func(name string) {
+		if err := runExperiment(name, cfg, *gbList, *tweetsPerGB, *recordsPerGB); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	switch *exp {
+	case "all":
+		for _, name := range []string{"fig6", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "titian", "perop", "fig10", "annotations"} {
+			run(name)
+			fmt.Println()
+		}
+	default:
+		run(*exp)
+	}
+}
+
+func parseGBs(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -gb value %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPerGB, recordsPerGB int) error {
+	sweepFull := experiments.Sweep{
+		SimGBs:       parseGBs(gbList, []int{100, 200, 300, 400, 500}),
+		TweetsPerGB:  tweetsPerGB,
+		RecordsPerGB: recordsPerGB,
+	}
+	sweep100 := sweepFull
+	sweep100.SimGBs = parseGBs(gbList, []int{100})
+	sweepSmall := sweepFull
+	sweepSmall.SimGBs = parseGBs(gbList, []int{10})
+
+	switch name {
+	case "fig6":
+		rows, err := experiments.Fig6(cfg, sweepFull)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderOverhead("Fig 6 — capture runtime overhead, Twitter T1-T5", rows))
+	case "fig7":
+		rows, err := experiments.Fig7(cfg, sweepFull)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderOverhead("Fig 7 — capture runtime overhead, DBLP D1-D5", rows))
+	case "fig8a":
+		rows, err := experiments.Fig8a(cfg, sweep100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSizes("Fig 8(a) — provenance size, Twitter T1-T5 (100 GB)", rows))
+	case "fig8b":
+		rows, err := experiments.Fig8b(cfg, sweep100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSizes("Fig 8(b) — provenance size, DBLP D1-D5 (100 GB)", rows))
+	case "fig9a":
+		rows, err := experiments.Fig9a(cfg, sweep100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderQueries("Fig 9(a) — backtracing runtime eager vs lazy, Twitter", rows))
+	case "fig9b":
+		rows, err := experiments.Fig9b(cfg, sweep100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderQueries("Fig 9(b) — backtracing runtime eager vs lazy, DBLP", rows))
+	case "titian":
+		rows, err := experiments.TitianComparison(
+			experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTitian(rows))
+	case "perop":
+		rows, err := experiments.PerOperatorOverhead(
+			experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderPerOperator(rows))
+	case "fig10":
+		out, err := experiments.Fig10(cfg, sweepSmall)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "annotations":
+		// The Sec. 2 argument on the running-example data and on one
+		// simulated GB of wide tweets.
+		fmt.Print(experiments.RenderAnnotations(
+			"Sec 2 — annotations on the Tab. 1 tweets (paper: 35 vs 5)",
+			experiments.AnnotationComparison(workload.ExampleTweets())))
+		scale := experiments.ScaleFor(1, tweetsPerGB, recordsPerGB)
+		fmt.Print(experiments.RenderAnnotations(
+			"Sec 2 — annotations on 1 simulated GB of wide tweets",
+			experiments.AnnotationComparison(workload.GenerateTwitter(scale))))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command datagen generates the synthetic nested Twitter or DBLP datasets of
+// the evaluation workload as newline-delimited JSON.
+//
+// Usage:
+//
+//	datagen -dataset twitter|dblp [-gb 1] [-tweets-per-gb 200] \
+//	        [-records-per-gb 2000] [-seed 42] [-o file.jsonl]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pebble/internal/nested"
+	"pebble/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "twitter", "dataset: twitter or dblp")
+	gb := flag.Int("gb", 1, "simulated size in GB")
+	tweetsPerGB := flag.Int("tweets-per-gb", 200, "tweets per simulated GB")
+	recordsPerGB := flag.Int("records-per-gb", 2000, "DBLP records per simulated GB")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	scale := workload.Scale{SimGB: *gb, TweetsPerGB: *tweetsPerGB, RecordsPerGB: *recordsPerGB, Seed: *seed}
+	var values []nested.Value
+	switch *dataset {
+	case "twitter":
+		values = workload.GenerateTwitter(scale)
+	case "dblp":
+		values = workload.GenerateDBLP(scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (want twitter or dblp)\n", *dataset)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := nested.EncodeJSONLines(bw, values); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d %s items\n", len(values), *dataset)
+}

@@ -1,0 +1,67 @@
+// Command pebble-shell starts an interactive provenance explorer over one of
+// the evaluation scenarios: it runs the scenario with structural provenance
+// capture and then answers tree-pattern questions, plan/result/provenance
+// inspection, and forward impact queries at a prompt.
+//
+// Usage:
+//
+//	pebble-shell [-scenario T3] [-gb 1] [-partitions 4] [-optimize]
+//
+// Example session:
+//
+//	> //id_str == "hotuser", tweets(text ~= "good")
+//	> impact 1 42
+//	> provenance
+//	> quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pebble/internal/core"
+	"pebble/internal/engine"
+	"pebble/internal/shell"
+	"pebble/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "T3", "scenario name: T1-T5 or D1-D5")
+	gb := flag.Int("gb", 1, "simulated input size in GB")
+	tweetsPerGB := flag.Int("tweets-per-gb", 200, "tweets per simulated GB")
+	recordsPerGB := flag.Int("records-per-gb", 2000, "DBLP records per simulated GB")
+	partitions := flag.Int("partitions", 4, "engine partitions")
+	optimize := flag.Bool("optimize", false, "optimize the plan before running")
+	flag.Parse()
+
+	sc, err := workload.ByName(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale := workload.Scale{SimGB: *gb, TweetsPerGB: *tweetsPerGB, RecordsPerGB: *recordsPerGB, Seed: 42}
+	pipe := sc.Build()
+	if *optimize {
+		opt, rules, err := engine.Optimize(pipe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe = opt
+		if len(rules) > 0 {
+			fmt.Printf("applied optimizations: %v\n", rules)
+		}
+	}
+	session := core.Session{Partitions: *partitions}
+	fmt.Printf("running %s with capture over %d simulated GB...\n", sc.Name, *gb)
+	cap, err := session.Capture(pipe, sc.Input(scale, *partitions))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d result rows; provenance for %d operators captured\n",
+		cap.Result.Output.Len(), len(cap.Provenance.Operators()))
+	if err := shell.New(cap, os.Stdout).Run(os.Stdin); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package pebble
+
+import (
+	"io"
+
+	"pebble/internal/nested"
+)
+
+// Value is one nested value: a constant, a data item (ordered
+// attribute/value list), a bag, or a set (Def. 4.1).
+type Value = nested.Value
+
+// Field is one attribute/value pair of a data item.
+type Field = nested.Field
+
+// Kind enumerates the building blocks of the nested data model.
+type Kind = nested.Kind
+
+// Type is the recursive type of a value (items, collections, constants).
+type Type = nested.Type
+
+// The value kinds.
+const (
+	KindNull   = nested.KindNull
+	KindInt    = nested.KindInt
+	KindDouble = nested.KindDouble
+	KindString = nested.KindString
+	KindBool   = nested.KindBool
+	KindItem   = nested.KindItem
+	KindBag    = nested.KindBag
+	KindSet    = nested.KindSet
+)
+
+// Null returns the null value.
+func Null() Value { return nested.Null() }
+
+// Int returns an integer constant.
+func Int(v int64) Value { return nested.Int(v) }
+
+// Double returns a floating-point constant.
+func Double(v float64) Value { return nested.Double(v) }
+
+// String returns a string constant.
+func String(v string) Value { return nested.StringVal(v) }
+
+// Bool returns a boolean constant.
+func Bool(v bool) Value { return nested.Bool(v) }
+
+// Item returns a data item with the given fields, in order.
+func Item(fields ...Field) Value { return nested.Item(fields...) }
+
+// F builds a Field.
+func F(name string, v Value) Field { return nested.F(name, v) }
+
+// Bag returns an ordered collection that may contain duplicates.
+func Bag(elems ...Value) Value { return nested.Bag(elems...) }
+
+// Set returns an ordered collection without duplicates.
+func Set(elems ...Value) Value { return nested.Set(elems...) }
+
+// ParseJSON decodes one JSON document into a Value, preserving object
+// attribute order.
+func ParseJSON(data []byte) (Value, error) { return nested.ParseJSON(data) }
+
+// ParseJSONLines decodes newline-delimited JSON documents.
+func ParseJSONLines(data []byte) ([]Value, error) { return nested.ParseJSONLines(data) }
+
+// EncodeJSONLines writes one JSON document per value.
+func EncodeJSONLines(w io.Writer, values []Value) error {
+	return nested.EncodeJSONLines(w, values)
+}
+
+// Equal reports deep structural equality of two values.
+func Equal(a, b Value) bool { return nested.Equal(a, b) }

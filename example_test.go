@@ -1,0 +1,83 @@
+package pebble_test
+
+import (
+	"fmt"
+
+	"pebble"
+)
+
+// ExampleSession_Capture runs the paper's running example (Fig. 1) with
+// structural provenance capture and answers the Fig. 4 provenance question.
+func ExampleSession_Capture() {
+	inputs := map[string]*pebble.Dataset{
+		"tweets.json": pebble.NewDataset("tweets.json", tab1(), 1),
+	}
+	session := pebble.Session{Partitions: 1}
+	cap, err := session.Capture(figure1(), inputs)
+	if err != nil {
+		panic(err)
+	}
+	q, err := cap.Query(pebble.NewPattern(
+		pebble.Desc("id_str").WithEq(pebble.String("lp")),
+		pebble.Child("tweets",
+			pebble.Child("text").WithEq(pebble.String("Hello World")).WithCount(2, 2),
+		),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("matched %d result item(s), traced %d input tweet(s)\n",
+		q.Matched.Len(), len(q.Items()))
+	for _, si := range q.Items() {
+		text, _ := si.Row.Value.Get("text")
+		fmt.Printf("  %s\n", text)
+	}
+	// Output:
+	// matched 1 result item(s), traced 2 input tweet(s)
+	//   "Hello World"
+	//   "Hello World"
+}
+
+// ExampleParsePattern shows the textual tree-pattern syntax.
+func ExampleParsePattern() {
+	pattern, err := pebble.ParsePattern(`//id_str == "lp", tweets(text ~= "World" #[2,2])`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pattern)
+	// Output:
+	// root
+	//   //id_str == "lp"
+	//   tweets
+	//     text contains "World" [2,2]
+}
+
+// ExampleParseJSON decodes nested JSON preserving attribute order.
+func ExampleParseJSON() {
+	v, err := pebble.ParseJSON([]byte(`{"text": "hi", "tags": ["a", "b"], "n": 2}`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	tags, _ := v.Get("tags")
+	fmt.Println(tags.Len())
+	// Output:
+	// {text: "hi", tags: ["a", "b"], n: 2}
+	// 2
+}
+
+// ExampleOptimize shows a filter being pushed below a select.
+func ExampleOptimize() {
+	p := pebble.NewPipeline()
+	src := p.Source("in")
+	sel := p.Select(src, pebble.Column("uid", "user.id_str"))
+	p.Filter(sel, pebble.Eq(pebble.Col("uid"), pebble.LitString("lp")))
+	opt, rules, err := pebble.Optimize(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rules)
+	_ = opt
+	// Output:
+	// [pushdown-filter-below-select]
+}

@@ -1,0 +1,78 @@
+// Auditing: the GDPR use-case of Sec. 7.3.5. An insider ran the query
+// workload D1–D5 over the DBLP dataset and leaked the results. Structural
+// provenance identifies (i) which records were exposed, (ii) which of their
+// attributes are actually in the leak, and (iii) which attributes were only
+// accessed — not exposed, but relevant for assessing reconstruction attacks
+// (the year attribute in the paper's example).
+//
+// Run with:
+//
+//	go run ./examples/auditing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pebble/internal/core"
+	"pebble/internal/nested"
+	"pebble/internal/path"
+	"pebble/internal/usage"
+	"pebble/internal/workload"
+)
+
+func main() {
+	scale := workload.Scale{SimGB: 1, RecordsPerGB: 400, Seed: 42}
+	session := core.Session{Partitions: 4}
+	analysis := usage.NewAnalysis()
+
+	fmt.Println("replaying leaked workload D1-D5 with provenance capture...")
+	for _, sc := range workload.DBLPScenarios() {
+		cap, err := session.Capture(sc.Build(), sc.Input(scale, 4))
+		if err != nil {
+			log.Fatalf("%s: %v", sc.Name, err)
+		}
+		q, err := cap.QueryAll()
+		if err != nil {
+			log.Fatalf("%s: %v", sc.Name, err)
+		}
+		analysis.AddQuery(q, cap.Provenance)
+		fmt.Printf("  %s: %d result items traced\n", sc.Name, cap.Result.Output.Len())
+	}
+
+	// Audit the inproceedings records (the dataset of Fig. 10).
+	inputs := workload.DBLPInput(scale, 1)
+	var universe []int64
+	for _, r := range inputs["dblp.json"].Rows() {
+		rt, _ := r.Value.Get("record_type")
+		if s, _ := rt.AsString(); s == "inproceedings" {
+			universe = append(universe, r.ID)
+		}
+	}
+	schema := []string{"key", "record_type", "title", "authors", "year", "crossref", "pages", "ee"}
+	rep := analysis.Audit(universe, schema)
+
+	fmt.Printf("\naudit of %d inproceedings records:\n", len(universe))
+	fmt.Printf("  leaked records:              %d\n", len(rep.LeakedItems))
+	fmt.Printf("  influenced-only records:     %d\n", len(rep.InfluencedItems))
+	fmt.Printf("  untouched records:           %d\n", len(rep.ColdItems))
+	fmt.Printf("  leaked attributes:           %v\n", rep.LeakedAttrs)
+	fmt.Printf("  influencing-only attributes: %v   <- reconstruction-attack risk\n", rep.InfluencingAttrs)
+	fmt.Printf("  untouched attributes:        %v   <- no notification needed\n", rep.ColdAttrs)
+	fmt.Println("\nA lineage solution would have marked every attribute of every traced")
+	fmt.Println("record as leaked; structural provenance confines the breach to the")
+	fmt.Println("attributes above and additionally flags the accessed-only ones.")
+
+	// Remediation: redact exactly the leaked cells of a sample record —
+	// everything else may be retained as-is.
+	if len(rep.LeakedItems) > 0 {
+		row, _ := inputs["dblp.json"].FindByID(rep.LeakedItems[0])
+		var leakedPaths []path.Path
+		for _, attr := range rep.LeakedAttrs {
+			leakedPaths = append(leakedPaths, path.New(attr))
+		}
+		masked := path.Redact(row.Value, leakedPaths, nested.StringVal("<redacted>"))
+		fmt.Println("\nsample record with exactly the leaked attributes masked:")
+		fmt.Printf("  %s\n", masked)
+	}
+}

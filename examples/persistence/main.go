@@ -1,0 +1,80 @@
+// Persistence: capture structural provenance during a pipeline run, persist
+// it next to the results, and answer a provenance question from the stored
+// provenance much later — the deployment mode auditing needs (the breach
+// investigation happens long after the query ran).
+//
+// Run with:
+//
+//	go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pebble"
+	"pebble/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pebble-prov")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	provPath := filepath.Join(dir, "run.pblp")
+
+	// Day 0: the pipeline runs with capture; provenance goes to disk.
+	session := pebble.Session{Partitions: 2}
+	cap, err := session.Capture(workload.ExamplePipeline(), workload.ExampleInput(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(provPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := cap.Provenance.WriteTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured provenance persisted: %s (%d bytes)\n", provPath, n)
+
+	// Day N: the auditor loads the stored provenance and traces a result
+	// item without re-running anything.
+	g, err := os.Open(provPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	run, err := pebble.ReadProvenance(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pattern := pebble.NewPattern(
+		pebble.Desc("id_str").WithEq(pebble.String("lp")),
+		pebble.Child("tweets",
+			pebble.Child("text").WithEq(pebble.String("Hello World")).WithCount(2, 2),
+		),
+	)
+	// The result dataset (and its annotations) would likewise be stored; here
+	// it is still in memory.
+	b := pattern.Match(cap.Result.Output)
+	traced, err := pebble.Trace(run, cap.Pipeline.Sink().ID(), b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntraced from the reloaded provenance:")
+	for oid, s := range traced.BySource {
+		for _, it := range s.Items {
+			row, _ := cap.Result.Sources[oid].FindByID(it.ID)
+			text, _ := row.Value.Get("text")
+			fmt.Printf("  read %d, input item %d: %s\n", oid, it.ID, text)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a small nested dataset, run a pipeline with structural
+// provenance capture, and ask a provenance question about a result item.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pebble"
+)
+
+func main() {
+	// A handful of orders with nested line items.
+	orders := []pebble.Value{
+		order("o1", "alice", 0, item("keyboard", 2, 49.9), item("mouse", 1, 19.9)),
+		order("o2", "bob", 1, item("monitor", 1, 249.0)),
+		order("o3", "alice", 0, item("mouse", 3, 19.9), item("cable", 5, 4.5)),
+		order("o4", "carol", 0, item("keyboard", 1, 49.9)),
+	}
+	inputs := map[string]*pebble.Dataset{
+		"orders": pebble.NewDataset("orders", orders, 2),
+	}
+
+	// Pipeline: keep non-returned orders, explode line items, and collect
+	// the products each customer bought.
+	p := pebble.NewPipeline()
+	src := p.Source("orders")
+	kept := p.Filter(src, pebble.Eq(pebble.Col("returned"), pebble.LitInt(0)))
+	flat := p.Flatten(kept, "items", "line")
+	sel := p.Select(flat,
+		pebble.Column("customer", "customer"),
+		pebble.StructField("product",
+			pebble.Column("name", "line.product"),
+			pebble.Column("qty", "line.qty"),
+		),
+	)
+	p.Aggregate(sel,
+		[]pebble.GroupKey{pebble.Key("customer")},
+		[]pebble.AggSpec{pebble.Agg(pebble.AggCollectList, "product", "products")},
+	)
+
+	// Execute with structural provenance capture.
+	session := pebble.Session{Partitions: 2}
+	cap, err := session.Capture(p, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:")
+	for _, row := range cap.Result.Output.Rows() {
+		fmt.Printf("  %s\n", row.Value)
+	}
+
+	// Provenance question: which parts of which orders produced alice's
+	// mouse purchases?
+	pattern := pebble.NewPattern(
+		pebble.Child("customer").WithEq(pebble.String("alice")),
+		pebble.Child("products",
+			pebble.Child("name").WithEq(pebble.String("mouse")),
+		),
+	)
+	q, err := cap.Query(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprovenance of alice's mouse purchases:")
+	fmt.Print(q.Report())
+}
+
+func order(id, customer string, returned int64, items ...pebble.Value) pebble.Value {
+	return pebble.Item(
+		pebble.F("order_id", pebble.String(id)),
+		pebble.F("customer", pebble.String(customer)),
+		pebble.F("items", pebble.Bag(items...)),
+		pebble.F("returned", pebble.Int(returned)),
+	)
+}
+
+func item(product string, qty int64, price float64) pebble.Value {
+	return pebble.Item(
+		pebble.F("product", pebble.String(product)),
+		pebble.F("qty", pebble.Int(qty)),
+		pebble.F("price", pebble.Double(price)),
+	)
+}

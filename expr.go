@@ -1,0 +1,62 @@
+package pebble
+
+import "pebble/internal/engine"
+
+// Expr is an expression over one data item; expressions report the access
+// paths they read so operators can capture structural provenance.
+type Expr = engine.Expr
+
+// Col returns an expression reading the given access path (e.g.
+// "user.id_str"); it panics on malformed paths.
+func Col(p string) Expr { return engine.Col(p) }
+
+// Lit returns a constant expression.
+func Lit(v Value) Expr { return engine.Lit(v) }
+
+// LitInt returns an integer literal expression.
+func LitInt(v int64) Expr { return engine.LitInt(v) }
+
+// LitDouble returns a floating-point literal expression.
+func LitDouble(v float64) Expr { return engine.LitDouble(v) }
+
+// LitString returns a string literal expression.
+func LitString(v string) Expr { return engine.LitString(v) }
+
+// LitBool returns a boolean literal expression.
+func LitBool(v bool) Expr { return engine.LitBool(v) }
+
+// Eq returns l == r (null comparisons are false).
+func Eq(l, r Expr) Expr { return engine.Eq(l, r) }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return engine.Ne(l, r) }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return engine.Lt(l, r) }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return engine.Le(l, r) }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return engine.Gt(l, r) }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return engine.Ge(l, r) }
+
+// And returns the conjunction of the operands.
+func And(operands ...Expr) Expr { return engine.And(operands...) }
+
+// Or returns the disjunction of the operands.
+func Or(operands ...Expr) Expr { return engine.Or(operands...) }
+
+// Not returns the negation of a boolean expression.
+func Not(e Expr) Expr { return engine.Not(e) }
+
+// Contains reports whether the string value of str contains substr.
+func Contains(str, substr Expr) Expr { return engine.Contains(str, substr) }
+
+// IsNull reports whether the operand evaluates to null.
+func IsNull(e Expr) Expr { return engine.IsNull(e) }
+
+// Len returns the element count of a collection-valued operand.
+func Len(e Expr) Expr { return engine.Len(e) }

@@ -1,0 +1,3 @@
+module pebble
+
+go 1.22

@@ -1,0 +1,404 @@
+package backtrace_test
+
+import (
+	"sort"
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/path"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// runExample executes the Fig. 1 pipeline with capture and returns the
+// execution result and provenance run.
+func runExample(t *testing.T, parts int) (*engine.Result, *provenance.Run) {
+	t.Helper()
+	res, run, err := provenance.Capture(workload.ExamplePipeline(), workload.ExampleInput(parts),
+		engine.Options{Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, run
+}
+
+// findResultUser returns the output row for the given user id.
+func findResultUser(t *testing.T, res *engine.Result, id string) engine.Row {
+	t.Helper()
+	for _, r := range res.Output.Rows() {
+		u, _ := r.Value.Get("user")
+		if s, _ := mustGet(t, u, "id_str").AsString(); s == id {
+			return r
+		}
+	}
+	t.Fatalf("result user %q not found", id)
+	return engine.Row{}
+}
+
+func mustGet(t *testing.T, v nested.Value, name string) nested.Value {
+	t.Helper()
+	out, ok := v.Get(name)
+	if !ok {
+		t.Fatalf("attribute %q missing in %s", name, v)
+	}
+	return out
+}
+
+// helloWorldPositions returns the 1-based positions of "Hello World" in the
+// result item's tweets collection.
+func helloWorldPositions(t *testing.T, row engine.Row) []int {
+	t.Helper()
+	tweets := mustGet(t, row.Value, "tweets")
+	var out []int
+	for i, e := range tweets.Elems() {
+		if s, _ := mustGet(t, e, "text").AsString(); s == "Hello World" {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// buildExampleQuery builds the backtracing structure of Fig. 2 (right tree):
+// item 102 with user.id_str and the duplicate Hello World texts.
+func buildExampleQuery(t *testing.T, res *engine.Result) *backtrace.Structure {
+	t.Helper()
+	row := findResultUser(t, res, "lp")
+	positions := helloWorldPositions(t, row)
+	if len(positions) != 2 {
+		t.Fatalf("expected duplicate Hello World, found positions %v", positions)
+	}
+	tree := backtrace.NewTree()
+	tree.EnsureContributing(path.MustParse("user.id_str"))
+	for _, pos := range positions {
+		tree.EnsureContributing(path.Path{
+			{Attr: "tweets", Index: pos},
+			{Attr: "text", Index: path.NoIndex},
+		})
+	}
+	b := backtrace.NewStructure()
+	b.Add(row.ID, tree)
+	return b
+}
+
+// sourceRowText returns the text attribute of the source row with the given
+// provenance identifier.
+func sourceRowText(t *testing.T, src *engine.Dataset, id int64) string {
+	t.Helper()
+	row, ok := src.FindByID(id)
+	if !ok {
+		t.Fatalf("source row %d not found", id)
+	}
+	s, _ := mustGet(t, row.Value, "text").AsString()
+	return s
+}
+
+// TestRunningExampleBacktrace reproduces the paper's Sec. 2 / Fig. 2 result:
+// backtracing the duplicate "Hello World" texts in the context of user lp
+// returns exactly the two input tweets 12 and 17 (dark-green contributing
+// data), with retweet_cnt and name as influencing attributes (medium-green),
+// name manipulated by operators 3 and 8 and accessed by the grouping 9, and
+// retweet_cnt accessed by the filter 2.
+func TestRunningExampleBacktrace(t *testing.T) {
+	for _, parts := range []int{1, 2, 3} {
+		res, run := runExample(t, parts)
+		b := buildExampleQuery(t, res)
+		traced, err := backtrace.Trace(run, 9, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All provenance comes from the upper branch (read operator 1); the
+		// lower branch (read 4) contributes nothing to the duplicate texts.
+		upper := traced.Structure(1)
+		lower := traced.Structure(4)
+		if lower.Len() != 0 {
+			t.Errorf("parts=%d: lower branch should be empty, got %d items:\n%s", parts, lower.Len(), lower)
+		}
+		if upper.Len() != 2 {
+			t.Fatalf("parts=%d: upper branch items = %d, want 2 (tweets 12 and 17):\n%s", parts, upper.Len(), upper)
+		}
+		src := res.Sources[1]
+		for _, it := range upper.Items {
+			if text := sourceRowText(t, src, it.ID); text != "Hello World" {
+				t.Errorf("parts=%d: traced wrong tweet %q", parts, text)
+			}
+			assertExampleTree(t, it.Tree)
+		}
+	}
+}
+
+// assertExampleTree checks one of the two left trees of Fig. 2.
+func assertExampleTree(t *testing.T, tree *backtrace.Tree) {
+	t.Helper()
+	find := func(p string) *backtrace.Node {
+		nodes := tree.Find(path.MustParse(p))
+		if len(nodes) != 1 {
+			t.Fatalf("node %s: found %d, want 1\n%s", p, len(nodes), tree)
+		}
+		return nodes[0]
+	}
+	// Contributing (dark-green): text and user.id_str.
+	text := find("text")
+	if !text.Contributing {
+		t.Errorf("text must contribute:\n%s", tree)
+	}
+	if !containsInt(text.Manip, 8) {
+		t.Errorf("text manipulated by select 8, got %v", text.Manip)
+	}
+	user := find("user")
+	if !user.Contributing {
+		t.Errorf("user must contribute (path to id_str)")
+	}
+	idStr := find("user.id_str")
+	if !idStr.Contributing {
+		t.Errorf("user.id_str must contribute")
+	}
+	if !containsInt(idStr.Manip, 3) || !containsInt(idStr.Manip, 8) {
+		t.Errorf("id_str manipulated by 3 and 8, got %v", idStr.Manip)
+	}
+	// Influencing (medium-green): user.name and retweet_cnt.
+	name := find("user.name")
+	if name.Contributing {
+		t.Errorf("user.name must be influencing, not contributing")
+	}
+	if !containsInt(name.Manip, 3) || !containsInt(name.Manip, 8) {
+		t.Errorf("name manipulated by operators 3 and 8 (Fig. 2), got %v", name.Manip)
+	}
+	if !containsInt(name.Access, 9) {
+		t.Errorf("name accessed by grouping 9 (Fig. 2), got %v", name.Access)
+	}
+	rc := find("retweet_cnt")
+	if rc.Contributing {
+		t.Errorf("retweet_cnt must be influencing")
+	}
+	if !containsInt(rc.Access, 2) {
+		t.Errorf("retweet_cnt accessed by filter 2, got %v", rc.Access)
+	}
+	// Nothing else at the top level: the tree conforms to the input schema.
+	for _, c := range tree.Root.Children {
+		switch c.Name {
+		case "text", "user", "retweet_cnt":
+		default:
+			t.Errorf("unexpected top-level node %q:\n%s", c.Name, tree)
+		}
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBacktraceFullResult traces the whole result item of user lp (all four
+// nested texts plus the user) and verifies all four source tweets of the
+// upper and lower branches are reached.
+func TestBacktraceFullResult(t *testing.T) {
+	res, run := runExample(t, 2)
+	row := findResultUser(t, res, "lp")
+	tweets := mustGet(t, row.Value, "tweets")
+	tree := backtrace.NewTree()
+	tree.EnsureContributing(path.MustParse("user.id_str"))
+	tree.EnsureContributing(path.MustParse("user.name"))
+	for i := 1; i <= tweets.Len(); i++ {
+		tree.EnsureContributing(path.Path{
+			{Attr: "tweets", Index: i},
+			{Attr: "text", Index: path.NoIndex},
+		})
+	}
+	b := backtrace.NewStructure()
+	b.Add(row.ID, tree)
+	traced, err := backtrace.Trace(run, 9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper branch: the three lp-authored tweets with retweet_cnt == 0.
+	upper := traced.Structure(1)
+	var upperTexts []string
+	for _, it := range upper.Items {
+		upperTexts = append(upperTexts, sourceRowText(t, res.Sources[1], it.ID))
+	}
+	if len(upperTexts) != 3 {
+		t.Errorf("upper branch items = %v, want 3 lp tweets", upperTexts)
+	}
+	// Lower branch: the tweet mentioning lp (tweet 29).
+	lowerItems := traced.Structure(4)
+	if lowerItems.Len() != 1 {
+		t.Fatalf("lower branch items = %d, want 1:\n%s", lowerItems.Len(), lowerItems)
+	}
+	it := lowerItems.Items[0]
+	if text := sourceRowText(t, res.Sources[4], it.ID); text != "Hello @lp" {
+		t.Errorf("lower branch traced %q, want Hello @lp", text)
+	}
+	// The mention sits at user_mentions[1]: flatten backtracing must have
+	// produced a concrete position node.
+	mention := it.Tree.Find(path.MustParse("user_mentions[1].id_str"))
+	if len(mention) != 1 || !mention[0].Contributing {
+		t.Errorf("user_mentions[1].id_str missing or not contributing:\n%s", it.Tree)
+	}
+}
+
+// TestBacktraceKeyOnlyQueryIsEmpty documents the Alg. 4 semantics: a query
+// that addresses only grouping attributes matches no aggregated value, so no
+// group member is marked relevant (cf. Ex. 6.6's removal of id 95).
+func TestBacktraceKeyOnlyQueryIsEmpty(t *testing.T) {
+	res, run := runExample(t, 2)
+	row := findResultUser(t, res, "lp")
+	tree := backtrace.NewTree()
+	tree.EnsureContributing(path.MustParse("user.id_str"))
+	b := backtrace.NewStructure()
+	b.Add(row.ID, tree)
+	traced, err := backtrace.Trace(run, 9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := traced.Structure(1).Len() + traced.Structure(4).Len(); n != 0 {
+		t.Errorf("key-only query returned %d items, want 0 per Alg. 4", n)
+	}
+}
+
+// TestBacktraceThroughMap verifies the conservative map semantics: the trace
+// still reaches the correct input items but trees are flagged opaque.
+func TestBacktraceThroughMap(t *testing.T) {
+	p := engine.NewPipeline()
+	src := p.Source("in")
+	mapped := p.Map(src, engine.MapFunc{Name: "rename", Fn: func(v nested.Value) (nested.Value, error) {
+		txt, _ := v.Get("text")
+		return nested.Item(nested.F("content", txt)), nil
+	}})
+	p.Filter(mapped, engine.Contains(engine.Col("content"), engine.LitString("World")))
+	inputs := workload.ExampleInput(2)
+	inputs["in"] = inputs["tweets.json"]
+	res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Len() != 2 {
+		t.Fatalf("filtered rows = %d, want 2", res.Output.Len())
+	}
+	b := backtrace.NewStructure()
+	for _, r := range res.Output.Rows() {
+		tr := backtrace.NewTree()
+		tr.EnsureContributing(path.MustParse("content"))
+		b.Add(r.ID, tr)
+	}
+	traced, err := backtrace.Trace(run, p.Sink().ID(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcStruct := traced.Structure(src.ID())
+	if srcStruct.Len() != 2 {
+		t.Fatalf("map trace items = %d, want 2", srcStruct.Len())
+	}
+	for _, it := range srcStruct.Items {
+		if !it.Tree.Opaque {
+			t.Error("tree must be flagged opaque after crossing a map")
+		}
+		if text := sourceRowText(t, res.Sources[src.ID()], it.ID); text != "Hello World" {
+			t.Errorf("map trace reached wrong tweet %q", text)
+		}
+	}
+}
+
+// TestBacktraceJoinPrunesSides verifies join backtracing: each side receives
+// only its own schema's nodes plus its join-key access marks.
+func TestBacktraceJoinPrunesSides(t *testing.T) {
+	users := []nested.Value{
+		nested.Item(nested.F("uid", nested.StringVal("lp")), nested.F("uname", nested.StringVal("Lisa"))),
+	}
+	tweets := []nested.Value{
+		nested.Item(nested.F("author", nested.StringVal("lp")), nested.F("txt", nested.StringVal("hi"))),
+	}
+	p := engine.NewPipeline()
+	l := p.Source("users")
+	r := p.Source("tweets")
+	p.Join(l, r, engine.Col("uid"), engine.Col("author"))
+	gen := engine.NewIDGen(1)
+	inputs := map[string]*engine.Dataset{
+		"users":  engine.NewDataset("users", users, 1, gen),
+		"tweets": engine.NewDataset("tweets", tweets, 1, gen),
+	}
+	res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := backtrace.NewTree()
+	tr.EnsureContributing(path.MustParse("uname"))
+	tr.EnsureContributing(path.MustParse("txt"))
+	b := backtrace.NewStructure()
+	b.Add(res.Output.Rows()[0].ID, tr)
+	traced, err := backtrace.Trace(run, p.Sink().ID(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uside := traced.Structure(l.ID())
+	tside := traced.Structure(r.ID())
+	if uside.Len() != 1 || tside.Len() != 1 {
+		t.Fatalf("join sides = %d, %d, want 1, 1", uside.Len(), tside.Len())
+	}
+	ut := uside.Items[0].Tree
+	if len(ut.Find(path.MustParse("uname"))) != 1 || len(ut.Find(path.MustParse("txt"))) != 0 {
+		t.Errorf("user side pruning wrong:\n%s", ut)
+	}
+	key := ut.Find(path.MustParse("uid"))
+	if len(key) != 1 || key[0].Contributing || !containsInt(key[0].Access, 3) {
+		t.Errorf("join key uid should be influencing with access mark:\n%s", ut)
+	}
+	tt := tside.Items[0].Tree
+	if len(tt.Find(path.MustParse("txt"))) != 1 || len(tt.Find(path.MustParse("uname"))) != 0 {
+		t.Errorf("tweet side pruning wrong:\n%s", tt)
+	}
+}
+
+// TestOptimizedPlanTracesSameInputs: optimizing the running example must not
+// change which input items the Fig. 4 question traces to.
+func TestOptimizedPlanTracesSameInputs(t *testing.T) {
+	res, run := runExample(t, 2)
+	b := buildExampleQuery(t, res)
+	traced, err := backtrace.Trace(run, 9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origTexts := tracedTexts(t, traced, res)
+
+	opt, _, err := engine.Optimize(workload.ExamplePipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, optRun, err := provenance.Capture(opt, workload.ExampleInput(2), engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := buildExampleQuery(t, optRes)
+	optTraced, err := backtrace.Trace(optRun, opt.Sink().ID(), ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optTexts := tracedTexts(t, optTraced, optRes)
+	if len(origTexts) != len(optTexts) {
+		t.Fatalf("traced counts differ: %v vs %v", origTexts, optTexts)
+	}
+	for i := range origTexts {
+		if origTexts[i] != optTexts[i] {
+			t.Errorf("traced item %d differs: %q vs %q", i, origTexts[i], optTexts[i])
+		}
+	}
+}
+
+// tracedTexts resolves every traced item to its text attribute, sorted.
+func tracedTexts(t *testing.T, traced *backtrace.Result, res *engine.Result) []string {
+	t.Helper()
+	var out []string
+	for oid, s := range traced.BySource {
+		src := res.Sources[oid]
+		for _, it := range s.Items {
+			out = append(out, sourceRowText(t, src, it.ID))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package backtrace_test
+
+import (
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/path"
+	"pebble/internal/provenance"
+)
+
+// TestBacktraceDistinct: tracing a distinct output returns every collapsed
+// duplicate (all witnesses).
+func TestBacktraceDistinct(t *testing.T) {
+	values := []nested.Value{
+		nested.Item(nested.F("k", nested.StringVal("a"))),
+		nested.Item(nested.F("k", nested.StringVal("b"))),
+		nested.Item(nested.F("k", nested.StringVal("a"))),
+		nested.Item(nested.F("k", nested.StringVal("a"))),
+	}
+	p := engine.NewPipeline()
+	src := p.Source("in")
+	p.Distinct(src)
+	gen := engine.NewIDGen(1)
+	inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 2, gen)}
+	res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aRow engine.Row
+	for _, r := range res.Output.Rows() {
+		if k, _ := r.Value.Get("k"); func() bool { s, _ := k.AsString(); return s == "a" }() {
+			aRow = r
+		}
+	}
+	b := backtrace.NewStructure()
+	tr := backtrace.NewTree()
+	tr.EnsureContributing(path.MustParse("k"))
+	b.Add(aRow.ID, tr)
+	traced, err := backtrace.Trace(run, p.Sink().ID(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := traced.Structure(src.ID()).Len(); got != 3 {
+		t.Errorf("distinct trace returned %d witnesses, want 3", got)
+	}
+}
+
+// TestBacktraceOrderByLimit: top-n tracing returns exactly the surviving
+// items, with the sort key marked as accessed.
+func TestBacktraceOrderByLimit(t *testing.T) {
+	var values []nested.Value
+	for i := 0; i < 10; i++ {
+		values = append(values, nested.Item(
+			nested.F("name", nested.StringVal(string(rune('a'+i)))),
+			nested.F("score", nested.Int(int64(i))),
+		))
+	}
+	p := engine.NewPipeline()
+	src := p.Source("in")
+	ord := p.OrderBy(src, true, engine.Col("score"))
+	p.Limit(ord, 2)
+	gen := engine.NewIDGen(1)
+	inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 3, gen)}
+	res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Len() != 2 {
+		t.Fatalf("top-2 has %d rows", res.Output.Len())
+	}
+	b := backtrace.NewStructure()
+	for _, r := range res.Output.Rows() {
+		tr := backtrace.NewTree()
+		tr.EnsureContributing(path.MustParse("name"))
+		b.Add(r.ID, tr)
+	}
+	traced, err := backtrace.Trace(run, p.Sink().ID(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := traced.Structure(src.ID())
+	if s.Len() != 2 {
+		t.Fatalf("traced %d input items, want 2", s.Len())
+	}
+	for _, it := range s.Items {
+		row, _ := res.Sources[src.ID()].FindByID(it.ID)
+		sc, _ := row.Value.Get("score")
+		if v, _ := sc.AsInt(); v < 8 {
+			t.Errorf("traced non-top item with score %d", v)
+		}
+		key := it.Tree.Find(path.MustParse("score"))
+		if len(key) != 1 || key[0].Contributing || len(key[0].Access) == 0 {
+			t.Errorf("sort key should be influencing with access marks:\n%s", it.Tree)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package backtrace_test
+
+import (
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/core"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+)
+
+// TestForwardTraceRunningExample: the "Hello World" tweet 12 affects exactly
+// the lp result item; the retweeted tweet 29 affects lp only through the
+// lower branch (it is filtered from the upper one).
+func TestForwardTraceRunningExample(t *testing.T) {
+	res, run := runExample(t, 2)
+	sinkOID := 9
+
+	// Locate the source ids of the Hello World tweets in read 1.
+	src1 := res.Sources[1]
+	var hwIDs []int64
+	for _, r := range src1.Rows() {
+		if s, _ := mustGet(t, r.Value, "text").AsString(); s == "Hello World" {
+			hwIDs = append(hwIDs, r.ID)
+		}
+	}
+	if len(hwIDs) != 2 {
+		t.Fatalf("found %d Hello World rows", len(hwIDs))
+	}
+	fwd, err := backtrace.TraceForward(run, 1, hwIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := fwd.AffectedIDs(sinkOID)
+	if len(affected) != 1 {
+		t.Fatalf("Hello World tweets affect %d result items, want 1 (lp)", len(affected))
+	}
+	row, _ := res.Output.FindByID(affected[0])
+	u, _ := row.Value.Get("user")
+	if id, _ := mustGet(t, u, "id_str").AsString(); id != "lp" {
+		t.Errorf("affected user = %q, want lp", id)
+	}
+
+	// Tweet 1 (authored by lp, mentioning ls, jm, ls) affects all three
+	// result users via authoring and mentions... but through read 1 only the
+	// upper branch applies, so it affects lp only.
+	var tweet1 int64 = -1
+	for _, r := range src1.Rows() {
+		if s, _ := mustGet(t, r.Value, "text").AsString(); s == "Hello @ls @jm @ls" {
+			tweet1 = r.ID
+		}
+	}
+	fwd1, err := backtrace.TraceForward(run, 1, []int64{tweet1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fwd1.AffectedIDs(sinkOID)); got != 1 {
+		t.Errorf("tweet 1 via read 1 affects %d results, want 1", got)
+	}
+	// Via read 4 (the flatten branch) the same tweet affects ls and jm.
+	src4 := res.Sources[4]
+	for _, r := range src4.Rows() {
+		if s, _ := mustGet(t, r.Value, "text").AsString(); s == "Hello @ls @jm @ls" {
+			tweet1 = r.ID
+		}
+	}
+	fwd4, err := backtrace.TraceForward(run, 4, []int64{tweet1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fwd4.AffectedIDs(sinkOID)); got != 2 {
+		t.Errorf("tweet 1 via read 4 affects %d results, want 2 (ls, jm)", got)
+	}
+}
+
+// TestForwardBackwardRoundTrip: forward tracing an input and backtracing the
+// affected results must come back to that input.
+func TestForwardBackwardRoundTrip(t *testing.T) {
+	res, run := runExample(t, 3)
+	src := res.Sources[1]
+	probe := src.Rows()[0]
+	fwd, err := backtrace.TraceForward(run, 1, []int64{probe.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := fwd.AffectedIDs(9)
+	if len(affected) == 0 {
+		t.Skip("probe row filtered everywhere")
+	}
+	b := backtrace.NewStructure()
+	for _, id := range affected {
+		row, _ := res.Output.FindByID(id)
+		b.Add(id, core.TreeFromValue(row.Value))
+	}
+	traced, err := backtrace.Trace(run, 9, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range traced.Structure(1).Items {
+		if it.ID == probe.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("backtrace of forward-affected results misses the probe input")
+	}
+}
+
+func TestForwardTraceErrors(t *testing.T) {
+	_, run := runExample(t, 1)
+	if _, err := backtrace.TraceForward(run, 99, []int64{1}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if _, err := backtrace.TraceForward(run, 2, []int64{1}); err == nil {
+		t.Error("non-source operator accepted")
+	}
+	fwd, err := backtrace.TraceForward(run, 1, nil)
+	if err != nil || len(fwd.ByOperator[9]) != 0 {
+		t.Errorf("empty forward trace: %v %v", fwd, err)
+	}
+}
+
+// TestForwardThroughExtensionOps covers distinct forward mapping: any of
+// the duplicates affects the one collapsed output.
+func TestForwardThroughExtensionOps(t *testing.T) {
+	values := []nested.Value{
+		nested.Item(nested.F("k", nested.StringVal("a"))),
+		nested.Item(nested.F("k", nested.StringVal("a"))),
+		nested.Item(nested.F("k", nested.StringVal("b"))),
+	}
+	p := engine.NewPipeline()
+	src := p.Source("in")
+	dst := p.Distinct(src)
+	p.OrderBy(dst, false, engine.Col("k"))
+	gen := engine.NewIDGen(1)
+	inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 2, gen)}
+	res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second duplicate of "a".
+	var dup int64 = -1
+	count := 0
+	for _, r := range res.Sources[src.ID()].Rows() {
+		if s, _ := mustGet(t, r.Value, "k").AsString(); s == "a" {
+			count++
+			if count == 2 {
+				dup = r.ID
+			}
+		}
+	}
+	fwd, err := backtrace.TraceForward(run, src.ID(), []int64{dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := fwd.AffectedIDs(p.Sink().ID())
+	if len(affected) != 1 {
+		t.Fatalf("duplicate affects %d results, want 1", len(affected))
+	}
+	row, _ := res.Output.FindByID(affected[0])
+	if s, _ := mustGet(t, row.Value, "k").AsString(); s != "a" {
+		t.Errorf("affected row = %s", row.Value)
+	}
+}

@@ -1,0 +1,108 @@
+package backtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one entry ⟨id, T⟩ of the backtracing structure: a top-level data
+// item identifier with the backtracing tree describing the queried (and
+// influencing) parts of its schema.
+type Item struct {
+	ID   int64
+	Tree *Tree
+	// pos is the scratch position column used while backtracing flatten and
+	// aggregation operators (pos / p_P in Algs. 2 and 4).
+	pos int
+}
+
+// Structure is the backtracing structure B = {{⟨id, T⟩}} of Def. 6.2.
+type Structure struct {
+	Items []*Item
+}
+
+// NewStructure returns an empty backtracing structure.
+func NewStructure() *Structure { return &Structure{} }
+
+// Add appends an item.
+func (b *Structure) Add(id int64, t *Tree) {
+	b.Items = append(b.Items, &Item{ID: id, Tree: t})
+}
+
+// Len returns the number of items.
+func (b *Structure) Len() int { return len(b.Items) }
+
+// IDs returns the item identifiers in ascending order.
+func (b *Structure) IDs() []int64 {
+	out := make([]int64, len(b.Items))
+	for i, it := range b.Items {
+		out[i] = it.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *Structure) Clone() *Structure {
+	out := &Structure{Items: make([]*Item, len(b.Items))}
+	for i, it := range b.Items {
+		out.Items[i] = &Item{ID: it.ID, Tree: it.Tree.Clone(), pos: it.pos}
+	}
+	return out
+}
+
+// MergeByID merges items sharing the same identifier into one item whose
+// tree is the union of the merged trees, preserving first-seen order.
+func (b *Structure) MergeByID() *Structure {
+	byID := make(map[int64]*Item)
+	out := &Structure{}
+	for _, it := range b.Items {
+		if existing, ok := byID[it.ID]; ok {
+			existing.Tree.Merge(it.Tree)
+			continue
+		}
+		merged := &Item{ID: it.ID, Tree: it.Tree, pos: it.pos}
+		byID[it.ID] = merged
+		out.Items = append(out.Items, merged)
+	}
+	return out
+}
+
+// String renders the structure, one item per block.
+func (b *Structure) String() string {
+	var sb strings.Builder
+	items := append([]*Item(nil), b.Items...)
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	for _, it := range items {
+		fmt.Fprintf(&sb, "item %d\n", it.ID)
+		for _, line := range strings.Split(strings.TrimRight(it.Tree.String(), "\n"), "\n") {
+			if line != "" {
+				sb.WriteString("  " + line + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ContributingPaths returns, per item, the paths of the contributing leaf
+// nodes — the where-provenance-style view of the trace: the "cells" the
+// queried result values were copied from. The paper's Sec. 2 discusses why
+// this flat cell list is weaker than the full backtracing trees (it loses
+// the common context binding the cells together); it is still the right
+// granularity for cell-level redaction or masking.
+func (b *Structure) ContributingPaths() map[int64][]string {
+	out := make(map[int64][]string, len(b.Items))
+	for _, it := range b.Items {
+		var cells []string
+		it.Tree.Walk(func(n *Node) {
+			if n.Parent == nil || !n.Contributing || len(n.Children) > 0 {
+				return
+			}
+			cells = append(cells, n.PathString())
+		})
+		sort.Strings(cells)
+		out[it.ID] = cells
+	}
+	return out
+}

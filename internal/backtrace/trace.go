@@ -1,0 +1,409 @@
+package backtrace
+
+import (
+	"fmt"
+	"sync"
+
+	"pebble/internal/engine"
+	"pebble/internal/path"
+	"pebble/internal/provenance"
+)
+
+// Result maps each reached source operator (read) to the backtracing
+// structure over that source's annotated rows: which top-level input items
+// the queried result items trace back to, and — per item — the backtracing
+// tree distinguishing contributing from influencing attributes.
+type Result struct {
+	BySource map[int]*Structure
+}
+
+// Structure returns the backtracing structure for a source operator (empty
+// when the trace never reached it).
+func (r *Result) Structure(sourceOID int) *Structure {
+	if s, ok := r.BySource[sourceOID]; ok {
+		return s
+	}
+	return NewStructure()
+}
+
+// ContributingIDs returns the identifiers of all contributing input items
+// across all sources, keyed by source operator.
+func (r *Result) ContributingIDs() map[int][]int64 {
+	out := make(map[int][]int64, len(r.BySource))
+	for oid, s := range r.BySource {
+		out[oid] = s.IDs()
+	}
+	return out
+}
+
+// Trace implements Alg. 1: starting from the backtracing structure b over
+// the output of operator startOID, it recursively steps backward through the
+// captured operator provenance until every path reaches a source operator,
+// and returns the per-source backtracing structures.
+func Trace(run *provenance.Run, startOID int, b *Structure) (*Result, error) {
+	return NewTracer(run).Trace(startOID, b)
+}
+
+// Tracer answers provenance queries over one captured run. It builds the
+// association indexes (output id → association rows) lazily, once per
+// operator, and reuses them across queries — the query-side optimisation the
+// paper lists as future work. A Tracer is safe for concurrent queries.
+type Tracer struct {
+	run *provenance.Run
+
+	mu         sync.Mutex
+	unaryIdx   map[int]map[int64][]int64
+	binaryIdx  map[int]map[int64][]provenance.BinaryAssoc
+	flattenIdx map[int]map[int64]flatSrc
+	aggIdx     map[int]map[int64][]aggEntry
+}
+
+type flatSrc struct {
+	in  int64
+	pos int
+}
+
+type aggEntry struct {
+	in int64
+	pP int // 1-based position within the group (= nested collection)
+}
+
+// NewTracer returns a tracer over the captured run.
+func NewTracer(run *provenance.Run) *Tracer {
+	return &Tracer{
+		run:        run,
+		unaryIdx:   make(map[int]map[int64][]int64),
+		binaryIdx:  make(map[int]map[int64][]provenance.BinaryAssoc),
+		flattenIdx: make(map[int]map[int64]flatSrc),
+		aggIdx:     make(map[int]map[int64][]aggEntry),
+	}
+}
+
+// Trace runs one provenance query (Alg. 1) against the captured run.
+func (t *Tracer) Trace(startOID int, b *Structure) (*Result, error) {
+	q := &tracer{t: t, run: t.run, out: &Result{BySource: make(map[int]*Structure)}}
+	if err := q.trace(startOID, b); err != nil {
+		return nil, err
+	}
+	return q.out, nil
+}
+
+func (t *Tracer) unary(op *provenance.Operator) map[int64][]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.unaryIdx[op.OID]; ok {
+		return idx
+	}
+	idx := make(map[int64][]int64, len(op.Unary))
+	for _, a := range op.Unary {
+		idx[a.Out] = append(idx[a.Out], a.In)
+	}
+	t.unaryIdx[op.OID] = idx
+	return idx
+}
+
+func (t *Tracer) binary(op *provenance.Operator) map[int64][]provenance.BinaryAssoc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.binaryIdx[op.OID]; ok {
+		return idx
+	}
+	idx := make(map[int64][]provenance.BinaryAssoc, len(op.Binary))
+	for _, a := range op.Binary {
+		idx[a.Out] = append(idx[a.Out], a)
+	}
+	t.binaryIdx[op.OID] = idx
+	return idx
+}
+
+func (t *Tracer) flatten(op *provenance.Operator) map[int64]flatSrc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.flattenIdx[op.OID]; ok {
+		return idx
+	}
+	idx := make(map[int64]flatSrc, len(op.Flatten))
+	for _, a := range op.Flatten {
+		idx[a.Out] = flatSrc{in: a.In, pos: a.Pos}
+	}
+	t.flattenIdx[op.OID] = idx
+	return idx
+}
+
+func (t *Tracer) agg(op *provenance.Operator) map[int64][]aggEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.aggIdx[op.OID]; ok {
+		return idx
+	}
+	idx := make(map[int64][]aggEntry, len(op.Agg))
+	for _, a := range op.Agg {
+		for i, in := range a.Ins {
+			idx[a.Out] = append(idx[a.Out], aggEntry{in: in, pP: i + 1})
+		}
+	}
+	t.aggIdx[op.OID] = idx
+	return idx
+}
+
+// tracer is the per-query state.
+type tracer struct {
+	t   *Tracer
+	run *provenance.Run
+	out *Result
+}
+
+func (tr *tracer) trace(oid int, b *Structure) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	op, ok := tr.run.Op(oid)
+	if !ok {
+		return fmt.Errorf("backtrace: no captured provenance for operator %d", oid)
+	}
+	switch op.Type {
+	case engine.OpSource:
+		if existing, ok := tr.out.BySource[oid]; ok {
+			merged := &Structure{Items: append(existing.Items, b.Items...)}
+			tr.out.BySource[oid] = merged.MergeByID()
+		} else {
+			tr.out.BySource[oid] = b.MergeByID()
+		}
+		return nil
+	case engine.OpFilter, engine.OpSelect, engine.OpMap,
+		engine.OpDistinct, engine.OpOrderBy, engine.OpLimit:
+		next := tr.backtraceUnary(op, b)
+		return tr.trace(op.Inputs[0].Pred, next)
+	case engine.OpFlatten:
+		next := tr.backtraceFlatten(op, b)
+		return tr.trace(op.Inputs[0].Pred, next)
+	case engine.OpAggregate:
+		next := tr.backtraceAggregation(op, b)
+		return tr.trace(op.Inputs[0].Pred, next)
+	case engine.OpJoin:
+		left, right := tr.backtraceJoin(op, b)
+		if err := tr.trace(op.Inputs[0].Pred, left); err != nil {
+			return err
+		}
+		return tr.trace(op.Inputs[1].Pred, right)
+	case engine.OpUnion:
+		left, right := tr.backtraceUnion(op, b)
+		if err := tr.trace(op.Inputs[0].Pred, left); err != nil {
+			return err
+		}
+		return tr.trace(op.Inputs[1].Pred, right)
+	}
+	return fmt.Errorf("backtrace: unsupported operator type %q", op.Type)
+}
+
+// mappings converts the captured manipulation mapping; keysOnly selects
+// either the group-key mappings or the remaining ones.
+func mappings(op *provenance.Operator, keys bool) []Mapping {
+	var out []Mapping
+	for _, m := range op.Manipulated {
+		if m.GroupKey == keys {
+			out = append(out, Mapping{In: m.In, Out: m.Out})
+		}
+	}
+	return out
+}
+
+// applyStatic undoes the operator's manipulations and records its accesses
+// on every tree of b (the second phase of Alg. 3, ll. 2–6).
+func applyStatic(op *provenance.Operator, b *Structure, inputIdx int) {
+	in := op.Inputs[inputIdx]
+	for _, it := range b.Items {
+		if op.ManipUndefined {
+			// Map operator: no structural information; mark everything as
+			// manipulated and flag the tree opaque (Sec. 6.3).
+			it.Tree.Opaque = true
+			it.Tree.MarkAllManip(op.OID)
+		} else {
+			it.Tree.ApplyMappings(mappings(op, false), op.OID)
+		}
+		if !in.AccessUndefined {
+			for _, a := range in.Accessed {
+				it.Tree.AccessPath(a, op.OID)
+			}
+		}
+	}
+}
+
+// backtraceUnary is Alg. 3 for filter, select, and map: join b's ids against
+// the ⟨id_i, id_o⟩ associations, then undo manipulations and record accesses.
+func (tr *tracer) backtraceUnary(op *provenance.Operator, b *Structure) *Structure {
+	idx := tr.t.unary(op)
+	next := &Structure{}
+	for _, it := range b.Items {
+		for _, in := range idx[it.ID] {
+			next.Items = append(next.Items, &Item{ID: in, Tree: it.Tree.Clone()})
+		}
+	}
+	applyStatic(op, next, 0)
+	return next.MergeByID()
+}
+
+// backtraceFlatten is Alg. 2: the generic step rewrites the exploded
+// attribute back to a_col[pos] with an unresolved placeholder; the merge
+// step substitutes each item's concrete position and merges the trees of
+// items originating from the same input item.
+func (tr *tracer) backtraceFlatten(op *provenance.Operator, b *Structure) *Structure {
+	idx := tr.t.flatten(op)
+	next := &Structure{}
+	for _, it := range b.Items {
+		a, ok := idx[it.ID]
+		if !ok {
+			continue
+		}
+		next.Items = append(next.Items, &Item{ID: a.in, Tree: it.Tree.Clone(), pos: a.pos})
+	}
+	applyStatic(op, next, 0)
+	// Merge step: resolve placeholders per item, then γ_id + mergeTrees.
+	var colPath path.Path
+	if ms := mappings(op, false); len(ms) > 0 {
+		colPath = ms[0].In
+	}
+	for _, it := range next.Items {
+		if colPath != nil {
+			it.Tree.SubstitutePlaceholder(colPath, it.pos)
+		}
+	}
+	return next.MergeByID()
+}
+
+// backtraceAggregation is Alg. 4, tracing aggregation and nesting back to
+// the input of the preceding grouping.
+func (tr *tracer) backtraceAggregation(op *provenance.Operator, b *Structure) *Structure {
+	idx := tr.t.agg(op)
+	aggMs := mappings(op, false)
+	keyMs := mappings(op, true)
+	next := &Structure{}
+	for _, it := range b.Items {
+		for _, en := range idx[it.ID] {
+			t := it.Tree.Clone()
+			inProv := false
+			for _, m := range aggMs {
+				out := m.Out
+				if out.HasPlaceholder() {
+					// Bag nesting: this input contributes exactly to the
+					// element at its own position p_P (Alg. 4, l. 7).
+					out = substitutePos(out, en.pP)
+					if len(t.Find(out)) == 0 {
+						// A query may address the whole nested collection
+						// rather than individual positions; then every group
+						// member contributes to it.
+						if wholeCollectionAddressed(t, stripIndex(m.Out)) {
+							out = stripIndex(m.Out)
+						}
+					}
+				}
+				if len(t.Find(out)) > 0 {
+					inProv = true
+					if len(m.In) == 0 {
+						// count(*): the result value depends on the item but
+						// maps to no input attribute.
+						t.RemoveAt(out)
+					} else {
+						t.ApplyMappings([]Mapping{{In: m.In, Out: out}}, op.OID)
+					}
+				}
+				if m.Out.HasPlaceholder() {
+					// Remove the collection node and any other positions —
+					// they describe other group members (Alg. 4, l. 13).
+					t.RemoveAt(stripIndex(m.Out))
+				}
+			}
+			if !inProv {
+				continue
+			}
+			t.ApplyMappings(keyMs, op.OID)
+			for _, a := range op.Inputs[0].Accessed {
+				t.AccessPath(a, op.OID)
+			}
+			next.Items = append(next.Items, &Item{ID: en.in, Tree: t})
+		}
+	}
+	return next.MergeByID()
+}
+
+// wholeCollectionAddressed reports whether the tree addresses the collection
+// attribute at p as a whole (a node without position children).
+func wholeCollectionAddressed(t *Tree, p path.Path) bool {
+	for _, n := range t.Find(p) {
+		if len(n.posChildren()) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// substitutePos replaces the [pos] placeholder in p with the concrete
+// position.
+func substitutePos(p path.Path, pos int) path.Path {
+	out := p.Clone()
+	for i := range out {
+		if out[i].Index == path.Pos {
+			out[i].Index = pos
+		}
+	}
+	return out
+}
+
+// stripIndex removes the positional index of the last step, yielding the
+// path of the collection attribute itself.
+func stripIndex(p path.Path) path.Path {
+	out := p.Clone()
+	if len(out) > 0 {
+		out[len(out)-1].Index = path.NoIndex
+	}
+	return out
+}
+
+// backtraceJoin splits b toward the two join inputs: each side receives the
+// item ids of its input, with tree nodes of the other side's schema removed
+// and the side's join-key paths marked as accessed.
+func (tr *tracer) backtraceJoin(op *provenance.Operator, b *Structure) (*Structure, *Structure) {
+	idx := tr.t.binary(op)
+	left, right := &Structure{}, &Structure{}
+	for _, it := range b.Items {
+		for _, a := range idx[it.ID] {
+			if a.Left != -1 {
+				lt := it.Tree.Clone()
+				lt.PruneToSchema(op.Inputs[0].Schema)
+				left.Items = append(left.Items, &Item{ID: a.Left, Tree: lt})
+			}
+			if a.Right != -1 {
+				rt := it.Tree.Clone()
+				rt.PruneToSchema(op.Inputs[1].Schema)
+				right.Items = append(right.Items, &Item{ID: a.Right, Tree: rt})
+			}
+		}
+	}
+	for i, s := range []*Structure{left, right} {
+		for _, it := range s.Items {
+			for _, a := range op.Inputs[i].Accessed {
+				it.Tree.AccessPath(a, op.OID)
+			}
+		}
+	}
+	return left.MergeByID(), right.MergeByID()
+}
+
+// backtraceUnion splits b toward the two union inputs: items whose recorded
+// identifier for the chosen side is undefined (-1) originate from the other
+// input and are filtered out.
+func (tr *tracer) backtraceUnion(op *provenance.Operator, b *Structure) (*Structure, *Structure) {
+	idx := tr.t.binary(op)
+	left, right := &Structure{}, &Structure{}
+	for _, it := range b.Items {
+		for _, a := range idx[it.ID] {
+			if a.Left != -1 {
+				left.Items = append(left.Items, &Item{ID: a.Left, Tree: it.Tree.Clone()})
+			}
+			if a.Right != -1 {
+				right.Items = append(right.Items, &Item{ID: a.Right, Tree: it.Tree.Clone()})
+			}
+		}
+	}
+	return left.MergeByID(), right.MergeByID()
+}

@@ -1,0 +1,597 @@
+// Package backtrace implements the provenance query side of the paper: the
+// backtracing structure and backtracing trees of Sec. 6.2 and the
+// backtracing algorithms 1–4 of Sec. 6.3, which step a set of queried result
+// items backward through the captured lightweight operator provenance until
+// the source datasets are reached.
+package backtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pebble/internal/path"
+)
+
+// Node is one node of a backtracing tree (Def. 6.3): it references an
+// attribute (or a position within a nested collection), the operators that
+// accessed and manipulated it, and whether it contributes to the queried
+// items (c = true) or merely influences them (c = false).
+type Node struct {
+	// Name is the attribute name; empty for position nodes.
+	Name string
+	// Pos is 0 for attribute nodes, a 1-based position for position nodes,
+	// or path.Pos for the unresolved [pos] placeholder.
+	Pos int
+	// Parent is nil for the root.
+	Parent *Node
+	// Children, in insertion order.
+	Children []*Node
+	// Access lists operators that accessed the attribute (A of Def. 6.3).
+	Access []int
+	// Manip lists operators that structurally manipulated it (M of Def. 6.3).
+	Manip []int
+	// Contributing is the c flag: true when the attribute is needed to
+	// reproduce the queried items, false when it only influences them.
+	Contributing bool
+}
+
+// Tree is a backtracing tree T = ⟨root, N⟩. The root stands for the
+// top-level data item itself.
+type Tree struct {
+	Root *Node
+	// Opaque is set once the trace crosses a map operator: the opaque λ
+	// hides structural information, so attribute-level precision below the
+	// top-level item is no longer guaranteed (Sec. 6.3: map "marks all nodes
+	// in the input schema as manipulated by default").
+	Opaque bool
+}
+
+// NewTree returns a tree with only a root node.
+func NewTree() *Tree {
+	return &Tree{Root: &Node{}}
+}
+
+// key identifies a node among its siblings.
+func (n *Node) key() string {
+	if n.Name != "" {
+		return n.Name
+	}
+	if n.Pos == path.Pos {
+		return "#pos"
+	}
+	return fmt.Sprintf("#%d", n.Pos)
+}
+
+// child returns the child with the given key.
+func (n *Node) child(key string) *Node {
+	for _, c := range n.Children {
+		if c.key() == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// posChildren returns all position-node children.
+func (n *Node) posChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (n *Node) addChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+func (n *Node) removeChild(c *Node) {
+	for i, cur := range n.Children {
+		if cur == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.Parent = nil
+			return
+		}
+	}
+}
+
+// hasMarks reports whether the node carries any access or manipulation
+// operator annotations.
+func (n *Node) hasMarks() bool { return len(n.Access) > 0 || len(n.Manip) > 0 }
+
+func addMark(marks []int, oid int) []int {
+	for _, m := range marks {
+		if m == oid {
+			return marks
+		}
+	}
+	return append(marks, oid)
+}
+
+// MarkAccess records that oid accessed the node.
+func (n *Node) MarkAccess(oid int) { n.Access = addMark(n.Access, oid) }
+
+// MarkManip records that oid structurally manipulated the node.
+func (n *Node) MarkManip(oid int) { n.Manip = addMark(n.Manip, oid) }
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	return &Tree{Root: t.Root.clone(nil), Opaque: t.Opaque}
+}
+
+func (n *Node) clone(parent *Node) *Node {
+	c := &Node{
+		Name:         n.Name,
+		Pos:          n.Pos,
+		Parent:       parent,
+		Access:       append([]int(nil), n.Access...),
+		Manip:        append([]int(nil), n.Manip...),
+		Contributing: n.Contributing,
+	}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.clone(c))
+	}
+	return c
+}
+
+// Walk visits every node in depth-first pre-order, starting at the root.
+func (t *Tree) Walk(f func(*Node)) { t.Root.walk(f) }
+
+func (n *Node) walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.walk(f)
+	}
+}
+
+// IsEmpty reports whether the tree has no nodes besides the root.
+func (t *Tree) IsEmpty() bool { return len(t.Root.Children) == 0 }
+
+// pathKeys expands a path into per-level node keys: a step a[2] expands into
+// the attribute key "a" followed by the position key "#2".
+func pathKeys(p path.Path) []string {
+	var keys []string
+	for _, s := range p {
+		if s.Attr != "" {
+			keys = append(keys, s.Attr)
+		}
+		switch {
+		case s.Index == path.NoIndex:
+		case s.Index == path.Pos:
+			keys = append(keys, "#pos")
+		default:
+			keys = append(keys, fmt.Sprintf("#%d", s.Index))
+		}
+	}
+	return keys
+}
+
+func nodeFromKey(key string) *Node {
+	if strings.HasPrefix(key, "#") {
+		if key == "#pos" {
+			return &Node{Pos: path.Pos}
+		}
+		var pos int
+		fmt.Sscanf(key, "#%d", &pos)
+		return &Node{Pos: pos}
+	}
+	return &Node{Name: key}
+}
+
+// Ensure creates (or finds) the node at path p. Newly created nodes get the
+// given contributing flag; existing nodes are left unchanged.
+func (t *Tree) Ensure(p path.Path, contributing bool) *Node {
+	cur := t.Root
+	for _, key := range pathKeys(p) {
+		next := cur.child(key)
+		if next == nil {
+			next = nodeFromKey(key)
+			next.Contributing = contributing
+			cur.addChild(next)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// EnsureContributing creates the node at path p and marks every node along
+// the path as contributing (used when building the query tree).
+func (t *Tree) EnsureContributing(p path.Path) *Node {
+	cur := t.Root
+	for _, key := range pathKeys(p) {
+		next := cur.child(key)
+		if next == nil {
+			next = nodeFromKey(key)
+			cur.addChild(next)
+		}
+		next.Contributing = true
+		cur = next
+	}
+	return cur
+}
+
+// Find returns the nodes matched by path p. A [pos] step matches every
+// position child (including an unresolved placeholder); a concrete position
+// matches only that position node. An attribute step without index matches
+// the attribute node itself.
+func (t *Tree) Find(p path.Path) []*Node {
+	nodes := []*Node{t.Root}
+	for _, key := range pathKeys(p) {
+		var next []*Node
+		for _, n := range nodes {
+			if key == "#pos" {
+				next = append(next, n.posChildren()...)
+				continue
+			}
+			if c := n.child(key); c != nil {
+				next = append(next, c)
+			}
+			// A concrete position also matches an unresolved placeholder.
+			if strings.HasPrefix(key, "#") && key != "#pos" {
+				if c := n.child("#pos"); c != nil {
+					next = append(next, c)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		nodes = next
+	}
+	return nodes
+}
+
+// AccessPath implements the accessPath method of Sec. 6.2: when the nodes of
+// path a exist, the operator id is added to each node's access collection;
+// otherwise the missing nodes are created with c = false (they influence the
+// queried items but are not needed to reproduce them) and marked likewise.
+func (t *Tree) AccessPath(a path.Path, oid int) {
+	keys := pathKeys(a)
+	t.accessWalk(t.Root, keys, oid)
+}
+
+func (t *Tree) accessWalk(cur *Node, keys []string, oid int) {
+	if len(keys) == 0 {
+		return
+	}
+	key := keys[0]
+	if key == "#pos" {
+		existing := cur.posChildren()
+		if len(existing) == 0 {
+			c := nodeFromKey(key)
+			c.Contributing = false
+			cur.addChild(c)
+			existing = []*Node{c}
+		}
+		for _, c := range existing {
+			c.MarkAccess(oid)
+			t.accessWalk(c, keys[1:], oid)
+		}
+		return
+	}
+	next := cur.child(key)
+	if next == nil {
+		next = nodeFromKey(key)
+		next.Contributing = false
+		cur.addChild(next)
+	}
+	next.MarkAccess(oid)
+	t.accessWalk(next, keys[1:], oid)
+}
+
+// Mapping is the backtracing view of one manipulation ⟨in, out⟩.
+type Mapping struct {
+	In  path.Path
+	Out path.Path
+}
+
+// ApplyMappings implements the manipulatePath method of Sec. 6.2 for a set
+// of mappings applied simultaneously: every output path that exists in the
+// tree is transformed back to its input path, and the manipulating operator
+// is recorded on the transplanted nodes (identity mappings transform nothing
+// and leave no mark). Detached structural shells without annotations are
+// pruned.
+func (t *Tree) ApplyMappings(ms []Mapping, oid int) {
+	type move struct {
+		node *Node
+		in   path.Path
+	}
+	var moves []move
+	for _, m := range ms {
+		if m.In.Equal(m.Out) {
+			continue // identity: no structural manipulation
+		}
+		for _, n := range t.Find(m.Out) {
+			moves = append(moves, move{node: n, in: m.In})
+		}
+	}
+	// Detach all matched nodes first so that mappings cannot observe each
+	// other's results (e.g. swapping renames a→b, b→a).
+	byParent := make(map[*Node][]*Node)
+	for _, mv := range moves {
+		parent := mv.node.Parent
+		if parent == nil {
+			continue // root or already detached
+		}
+		parent.removeChild(mv.node)
+		byParent[parent] = append(byParent[parent], mv.node)
+	}
+	// Structural shells emptied by the transplants (e.g. a struct created by
+	// a select whose fields all map back) do not exist in the input schema:
+	// fold their annotations into the moved children and prune them.
+	for parent, movedKids := range byParent {
+		n := parent
+		for n != nil && n != t.Root && len(n.Children) == 0 {
+			for _, k := range movedKids {
+				for _, a := range n.Access {
+					k.MarkAccess(a)
+				}
+				for _, m := range n.Manip {
+					k.MarkManip(m)
+				}
+			}
+			p := n.Parent
+			if p == nil {
+				break
+			}
+			p.removeChild(n)
+			n = p
+		}
+	}
+	for _, mv := range moves {
+		t.attach(mv.node, mv.in, oid)
+	}
+}
+
+// attach places a detached node at the given input path, renaming it to the
+// path's last component and merging with any existing node there.
+func (t *Tree) attach(n *Node, in path.Path, oid int) {
+	keys := pathKeys(in)
+	if len(keys) == 0 {
+		return
+	}
+	last := keys[len(keys)-1]
+	parent := t.Root
+	for _, key := range keys[:len(keys)-1] {
+		next := parent.child(key)
+		if next == nil {
+			next = nodeFromKey(key)
+			next.Contributing = n.Contributing
+			parent.addChild(next)
+		} else if n.Contributing {
+			next.Contributing = true
+		}
+		parent = next
+	}
+	// Rename the node to the destination key.
+	renamed := nodeFromKey(last)
+	n.Name, n.Pos = renamed.Name, renamed.Pos
+	n.MarkManip(oid)
+	if existing := parent.child(last); existing != nil {
+		existing.mergeFrom(n)
+		return
+	}
+	parent.addChild(n)
+}
+
+// mergeFrom merges another node's annotations and children into n.
+func (n *Node) mergeFrom(o *Node) {
+	for _, oid := range o.Access {
+		n.MarkAccess(oid)
+	}
+	for _, oid := range o.Manip {
+		n.MarkManip(oid)
+	}
+	n.Contributing = n.Contributing || o.Contributing
+	for _, oc := range o.Children {
+		if existing := n.child(oc.key()); existing != nil {
+			existing.mergeFrom(oc)
+		} else {
+			oc.Parent = nil
+			n.addChild(oc)
+		}
+	}
+}
+
+// pruneShells removes n and its now-empty ancestors when they carry no
+// children, no annotations, and are not themselves queried (contributing
+// empty leaves stay: they are queried values).
+func (t *Tree) pruneShells(n *Node) {
+	for n != nil && n != t.Root && len(n.Children) == 0 && !n.hasMarks() && !n.Contributing {
+		parent := n.Parent
+		parent.removeChild(n)
+		n = parent
+	}
+}
+
+// RemoveAt removes every node matched by p (Alg. 4's removeNodes).
+func (t *Tree) RemoveAt(p path.Path) {
+	for _, n := range t.Find(p) {
+		if n.Parent != nil {
+			parent := n.Parent
+			parent.removeChild(n)
+			t.pruneShells(parent)
+		}
+	}
+}
+
+// SubstitutePlaceholder resolves the [pos] placeholder child under the
+// attribute at prefix to the concrete position pos, merging with an existing
+// node of that position (Alg. 2's merge step for flatten).
+func (t *Tree) SubstitutePlaceholder(prefix path.Path, pos int) {
+	attr := prefix.Clone()
+	if len(attr) > 0 && attr[len(attr)-1].Index != path.NoIndex {
+		attr[len(attr)-1].Index = path.NoIndex
+	}
+	for _, n := range t.Find(attr) {
+		ph := n.child("#pos")
+		if ph == nil {
+			continue
+		}
+		n.removeChild(ph)
+		ph.Pos = pos
+		if existing := n.child(ph.key()); existing != nil {
+			existing.mergeFrom(ph)
+		} else {
+			n.addChild(ph)
+		}
+	}
+}
+
+// MarkAllManip marks every node (except the root) as manipulated by oid —
+// the conservative treatment of the opaque map operator.
+func (t *Tree) MarkAllManip(oid int) {
+	t.Walk(func(n *Node) {
+		if n != t.Root {
+			n.MarkManip(oid)
+		}
+	})
+}
+
+// Merge merges another tree into this one.
+func (t *Tree) Merge(o *Tree) {
+	t.Opaque = t.Opaque || o.Opaque
+	t.Root.mergeFrom(o.Root.clone(nil))
+}
+
+// PruneToSchema keeps only the top-level children whose attribute name is in
+// the given schema — join backtracing removes the other input's attributes.
+func (t *Tree) PruneToSchema(schema []string) {
+	keep := make(map[string]bool, len(schema))
+	for _, a := range schema {
+		keep[a] = true
+	}
+	var kept []*Node
+	for _, c := range t.Root.Children {
+		if keep[c.Name] {
+			kept = append(kept, c)
+		} else {
+			c.Parent = nil
+		}
+	}
+	t.Root.Children = kept
+}
+
+// Leaves returns the paths of all leaf nodes together with the leaves.
+func (t *Tree) Leaves() map[string]*Node {
+	out := make(map[string]*Node)
+	t.Walk(func(n *Node) {
+		if len(n.Children) == 0 && n != t.Root {
+			out[n.PathString()] = n
+		}
+	})
+	return out
+}
+
+// PathString renders the path from the root to the node.
+func (n *Node) PathString() string {
+	var keys []string
+	for cur := n; cur != nil && cur.Parent != nil; cur = cur.Parent {
+		k := cur.key()
+		if strings.HasPrefix(k, "#") {
+			k = "[" + strings.TrimPrefix(k, "#") + "]"
+		}
+		keys = append(keys, k)
+	}
+	// Reverse and join; positions attach to the preceding attribute.
+	var sb strings.Builder
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		if strings.HasPrefix(k, "[") {
+			sb.WriteString(k)
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// String renders the tree with one node per line, children indented, with
+// contributing/influencing flags and access/manipulation marks — the textual
+// form of Fig. 2's trees.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	if t.Opaque {
+		sb.WriteString("(opaque: crossed a map operator)\n")
+	}
+	var render func(n *Node, depth int)
+	render = func(n *Node, depth int) {
+		if n != t.Root {
+			sb.WriteString(strings.Repeat("  ", depth-1))
+			label := n.key()
+			if strings.HasPrefix(label, "#") {
+				label = "[" + strings.TrimPrefix(label, "#") + "]"
+			}
+			sb.WriteString(label)
+			if n.Contributing {
+				sb.WriteString(" (contributing)")
+			} else {
+				sb.WriteString(" (influencing)")
+			}
+			if len(n.Access) > 0 {
+				fmt.Fprintf(&sb, " accessed:%v", sortedInts(n.Access))
+			}
+			if len(n.Manip) > 0 {
+				fmt.Fprintf(&sb, " manipulated:%v", sortedInts(n.Manip))
+			}
+			sb.WriteByte('\n')
+		}
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	render(t.Root, 0)
+	return sb.String()
+}
+
+func sortedInts(in []int) []int {
+	out := append([]int(nil), in...)
+	sort.Ints(out)
+	return out
+}
+
+// treeJSON is the serialisable view of a node.
+type treeJSON struct {
+	Name         string     `json:"name,omitempty"`
+	Pos          int        `json:"pos,omitempty"`
+	Contributing bool       `json:"contributing"`
+	Access       []int      `json:"accessed,omitempty"`
+	Manip        []int      `json:"manipulated,omitempty"`
+	Children     []treeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the tree for machine consumption (front-ends,
+// notebooks): nodes carry their attribute name or 1-based position, the
+// contributing flag, and the accessing/manipulating operator ids.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	root := nodeJSON(t.Root)
+	out := struct {
+		Opaque   bool       `json:"opaque,omitempty"`
+		Children []treeJSON `json:"children,omitempty"`
+	}{Opaque: t.Opaque, Children: root.Children}
+	return json.Marshal(out)
+}
+
+func nodeJSON(n *Node) treeJSON {
+	out := treeJSON{
+		Name:         n.Name,
+		Contributing: n.Contributing,
+		Access:       sortedInts(n.Access),
+		Manip:        sortedInts(n.Manip),
+	}
+	if n.Pos > 0 {
+		out.Pos = n.Pos
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, nodeJSON(c))
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package core is the "Pebble Core" module of the system architecture
+// (Fig. 5): it ties the capture submodule (running pipelines under
+// structural provenance capture) to the query submodule (tree-pattern
+// matching followed by backtracing), realising the paper's holistic
+// meet-in-the-middle approach — eager lightweight capture during execution,
+// succinct backtracing at query time.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/path"
+	"pebble/internal/provenance"
+	"pebble/internal/treepattern"
+)
+
+// Session configures capture and query executions.
+type Session struct {
+	// Partitions is the data parallelism of pipeline runs (default 4).
+	Partitions int
+	// Sequential disables goroutine parallelism.
+	Sequential bool
+	// AnalyzeFirst type-checks the plan against the input schemas before
+	// executing, failing fast on unknown columns and type errors.
+	AnalyzeFirst bool
+}
+
+func (s Session) options() engine.Options {
+	parts := s.Partitions
+	if parts < 1 {
+		parts = 4
+	}
+	return engine.Options{Partitions: parts, Sequential: s.Sequential}
+}
+
+// Captured is a pipeline execution with its structural provenance, ready for
+// provenance queries.
+type Captured struct {
+	Pipeline   *engine.Pipeline
+	Result     *engine.Result
+	Provenance *provenance.Run
+
+	tracerOnce sync.Once
+	tracer     *backtrace.Tracer
+}
+
+// Tracer returns the query tracer over the captured provenance; its
+// association indexes are built lazily and shared across all queries on this
+// capture.
+func (c *Captured) Tracer() *backtrace.Tracer {
+	c.tracerOnce.Do(func() { c.tracer = backtrace.NewTracer(c.Provenance) })
+	return c.tracer
+}
+
+// Run executes the pipeline without provenance capture (plain Spark
+// semantics, the baseline bars of Figs. 6 and 7).
+func (s Session) Run(p *engine.Pipeline, inputs map[string]*engine.Dataset) (*engine.Result, error) {
+	if err := s.maybeAnalyze(p, inputs); err != nil {
+		return nil, err
+	}
+	return engine.Run(p, inputs, s.options())
+}
+
+func (s Session) maybeAnalyze(p *engine.Pipeline, inputs map[string]*engine.Dataset) error {
+	if !s.AnalyzeFirst {
+		return nil
+	}
+	_, err := engine.Analyze(p, engine.InferInputTypes(inputs))
+	return err
+}
+
+// Capture executes the pipeline with structural provenance capture.
+func (s Session) Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset) (*Captured, error) {
+	if err := s.maybeAnalyze(p, inputs); err != nil {
+		return nil, err
+	}
+	res, run, err := provenance.Capture(p, inputs, s.options())
+	if err != nil {
+		return nil, err
+	}
+	return &Captured{Pipeline: p, Result: res, Provenance: run}, nil
+}
+
+// QueryResult is the answer to one structural provenance question.
+type QueryResult struct {
+	// Matched is the backtracing structure the tree-pattern produced on the
+	// result data (the right tree of Fig. 2, per matched item).
+	Matched *backtrace.Structure
+	// Traced maps each source operator to its backtracing structure on the
+	// input (the left trees of Fig. 2).
+	Traced *backtrace.Result
+	// Sources resolves provenance identifiers to the annotated source rows.
+	Sources map[int]*engine.Dataset
+}
+
+// Query matches the tree-pattern against the captured result and backtraces
+// the matches to the inputs (Alg. 1 over the captured operator provenance).
+func (c *Captured) Query(pattern *treepattern.Pattern) (*QueryResult, error) {
+	matched := pattern.Match(c.Result.Output)
+	return c.QueryStructure(matched)
+}
+
+// QueryStructure backtraces an explicitly built backtracing structure.
+func (c *Captured) QueryStructure(b *backtrace.Structure) (*QueryResult, error) {
+	traced, err := c.Tracer().Trace(c.Pipeline.Sink().ID(), b)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Matched: b, Traced: traced, Sources: c.Result.Sources}, nil
+}
+
+// QueryAll builds a full-coverage query: every result item with all its
+// leaves contributing. Use-case analyses (auditing, data-usage patterns)
+// merge such full queries across a workload.
+func (c *Captured) QueryAll() (*QueryResult, error) {
+	b := backtrace.NewStructure()
+	for _, row := range c.Result.Output.Rows() {
+		b.Add(row.ID, TreeFromValue(row.Value))
+	}
+	return c.QueryStructure(b)
+}
+
+// TreeFromValue builds a backtracing tree covering every path of the value,
+// all contributing.
+func TreeFromValue(v nested.Value) *backtrace.Tree {
+	t := backtrace.NewTree()
+	for _, p := range path.Enumerate(v, 0) {
+		t.EnsureContributing(p)
+	}
+	return t
+}
+
+// SourceItem pairs a traced input item with its data.
+type SourceItem struct {
+	SourceOID int
+	Item      *backtrace.Item
+	Row       engine.Row
+	Found     bool
+}
+
+// Items resolves every traced item against the source datasets, ordered by
+// source operator and identifier.
+func (q *QueryResult) Items() []SourceItem {
+	var oids []int
+	for oid := range q.Traced.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	var out []SourceItem
+	for _, oid := range oids {
+		src := q.Sources[oid]
+		items := append([]*backtrace.Item(nil), q.Traced.BySource[oid].Items...)
+		sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+		for _, it := range items {
+			si := SourceItem{SourceOID: oid, Item: it}
+			if src != nil {
+				si.Row, si.Found = src.FindByID(it.ID)
+			}
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// Report renders the query result for humans: per source, the contributing
+// input items with their backtracing trees (contributing vs influencing
+// attributes and the operators that accessed/manipulated them).
+func (q *QueryResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query matched %d result item(s)\n", q.Matched.Len())
+	items := q.Items()
+	if len(items) == 0 {
+		sb.WriteString("no contributing input items\n")
+		return sb.String()
+	}
+	lastOID := -1
+	for _, si := range items {
+		if si.SourceOID != lastOID {
+			name := "?"
+			if src := q.Sources[si.SourceOID]; src != nil {
+				name = src.Name
+			}
+			fmt.Fprintf(&sb, "source operator %d (%s):\n", si.SourceOID, name)
+			lastOID = si.SourceOID
+		}
+		fmt.Fprintf(&sb, "  input item %d", si.Item.ID)
+		if si.Found {
+			fmt.Fprintf(&sb, ": %s", truncate(si.Row.Value.String(), 120))
+		}
+		sb.WriteByte('\n')
+		for _, line := range strings.Split(strings.TrimRight(si.Item.Tree.String(), "\n"), "\n") {
+			if line != "" {
+				sb.WriteString("    " + line + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// jsonItem is the serialisable view of one traced input item.
+type jsonItem struct {
+	ID   int64           `json:"id"`
+	Row  json.RawMessage `json:"row,omitempty"`
+	Tree *backtrace.Tree `json:"tree"`
+}
+
+type jsonSource struct {
+	SourceOID int        `json:"source_oid"`
+	Dataset   string     `json:"dataset,omitempty"`
+	Items     []jsonItem `json:"items"`
+}
+
+// JSON encodes the query result for machine consumption: the matched result
+// count and, per source, the traced input items with their row data and
+// backtracing trees. This is the exchange format a provenance front-end
+// would consume.
+func (q *QueryResult) JSON() ([]byte, error) {
+	out := struct {
+		Matched int          `json:"matched"`
+		Sources []jsonSource `json:"sources"`
+	}{Matched: q.Matched.Len()}
+	var oids []int
+	for oid := range q.Traced.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, oid := range oids {
+		src := jsonSource{SourceOID: oid}
+		if ds := q.Sources[oid]; ds != nil {
+			src.Dataset = ds.Name
+		}
+		items := append([]*backtrace.Item(nil), q.Traced.BySource[oid].Items...)
+		sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+		for _, it := range items {
+			ji := jsonItem{ID: it.ID, Tree: it.Tree}
+			if ds := q.Sources[oid]; ds != nil {
+				if row, ok := ds.FindByID(it.ID); ok {
+					if data, err := row.Value.MarshalJSON(); err == nil {
+						ji.Row = data
+					}
+				}
+			}
+			src.Items = append(src.Items, ji)
+		}
+		out.Sources = append(out.Sources, src)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

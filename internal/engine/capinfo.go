@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"pebble/internal/nested"
+	"pebble/internal/path"
+)
+
+// Mapping is one structural manipulation ⟨p_in, p_out⟩ ∈ M: the operator
+// copies/moves the data reachable at the input path to the output path
+// (Def. 4.9). Paths are on schema level; positions appear as the [pos]
+// placeholder.
+type Mapping struct {
+	In  path.Path
+	Out path.Path
+	// GroupKey marks the grouping-attribute mappings of an aggregation
+	// (⟨g_i, g_r⟩ in Tab. 5). Backtracing treats them specially: they
+	// transform paths but never decide by themselves whether an input item
+	// remains in the provenance (cf. Ex. 6.6, where group members at other
+	// positions are removed).
+	GroupKey bool
+}
+
+// InputInfo describes one input of an operator for provenance capture: which
+// operator (or source dataset) produced it and which paths the operator
+// accesses on it (the set A of Def. 4.10, on schema level).
+type InputInfo struct {
+	// Pred is the identifier of the preceding operator, or 0 when the input
+	// is a raw source dataset.
+	Pred int
+	// SourceName names the source dataset when Pred == 0.
+	SourceName string
+	// Accessed lists the accessed paths. Nil with AccessUndefined unset
+	// means A = ∅ (e.g. union); AccessUndefined set means A = ⊥ (map).
+	Accessed []path.Path
+	// AccessUndefined marks A = ⊥, used for opaque map functions.
+	AccessUndefined bool
+	// Schema lists the input's top-level attribute names for operators whose
+	// backtracing needs them: join (to prune the other side's attributes)
+	// and union (for symmetry).
+	Schema []string
+}
+
+// OpInfo is the static, data-item-independent part of the lightweight
+// operator provenance P = ⟨oid, type, I, M, P⟩ (Def. 5.1): everything but
+// the per-item association bag P, which the sink collects row by row.
+type OpInfo struct {
+	OID    int
+	Type   OpType
+	Inputs []InputInfo
+	// Manipulated is the schema-level manipulation mapping M. Nil with
+	// ManipUndefined unset means M = ∅; ManipUndefined set means M = ⊥.
+	Manipulated    []Mapping
+	ManipUndefined bool
+}
+
+// CaptureSink receives provenance during execution. StartOperator is called
+// once per operator before its rows flow; the per-row methods are called
+// concurrently from different partitions (distinguished by part) and must be
+// safe under that access pattern. A nil sink disables capture entirely.
+type CaptureSink interface {
+	// StartOperator announces an operator and its static provenance.
+	StartOperator(info OpInfo, partitions int)
+	// SourceRow records a top-level identifier assigned to a source row,
+	// together with the identifier the row carried in the raw input dataset
+	// (so analyses can correlate multiple reads of the same input).
+	SourceRow(oid, part int, id, origID int64)
+	// Unary records ⟨id_i, id_o⟩ for map, select, filter.
+	Unary(oid, part int, inID, outID int64)
+	// Binary records ⟨id_i1, id_i2, id_o⟩ for join and union; for union the
+	// absent side is -1.
+	Binary(oid, part int, leftID, rightID, outID int64)
+	// FlattenAssoc records ⟨id_i, pos, id_o⟩ with the 1-based position of the
+	// flattened element.
+	FlattenAssoc(oid, part int, inID int64, pos int, outID int64)
+	// AggAssoc records ⟨ids_i, id_o⟩; the order of inIDs matches the element
+	// order of every nested collection the aggregation produced.
+	AggAssoc(oid, part int, inIDs []int64, outID int64)
+}
+
+// opInfo derives the static provenance of an operator per the inference
+// rules of Tab. 5. Join and union need the input schemas (for the identity
+// mapping over all top-level attributes and for side pruning), and
+// aggregation needs a sample input item to expand struct-valued group keys
+// into their leaf paths; the executor supplies these from the data.
+func opInfo(o *Op, leftSchema, rightSchema []string, sample nested.Value) OpInfo {
+	info := OpInfo{OID: o.id, Type: o.typ}
+	for _, in := range o.inputs {
+		info.Inputs = append(info.Inputs, InputInfo{Pred: in.id})
+	}
+	switch o.typ {
+	case OpSource:
+		info.Inputs = []InputInfo{{Pred: 0, SourceName: o.sourceName}}
+	case OpFilter:
+		// A = paths of φ(i); M = ∅ (the item's structure is kept entirely).
+		info.Inputs[0].Accessed = dedupPaths(o.pred.Paths())
+	case OpSelect:
+		var accessed []path.Path
+		var manip []Mapping
+		collectSelect(o.fields, nil, &accessed, &manip)
+		info.Inputs[0].Accessed = dedupPaths(accessed)
+		info.Manipulated = manip
+	case OpMap:
+		// A = ⊥ and M = ⊥: the internals of λ are unknown (Sec. 5.0.1).
+		info.Inputs[0].AccessUndefined = true
+		info.ManipUndefined = true
+	case OpJoin:
+		info.Inputs[0].Accessed = dedupPaths(o.leftKey.Paths())
+		info.Inputs[1].Accessed = dedupPaths(o.rightKey.Paths())
+		info.Inputs[0].Schema = leftSchema
+		info.Inputs[1].Schema = rightSchema
+		// M: every top-level attribute of either schema maps identically
+		// into the result item r = ⟨i, j⟩.
+		for _, a := range leftSchema {
+			info.Manipulated = append(info.Manipulated, Mapping{In: path.New(a), Out: path.New(a)})
+		}
+		for _, a := range rightSchema {
+			info.Manipulated = append(info.Manipulated, Mapping{In: path.New(a), Out: path.New(a)})
+		}
+	case OpUnion:
+		// A = ∅ (schema comparison only) and M = ∅.
+		info.Inputs[0].Schema = leftSchema
+		info.Inputs[1].Schema = rightSchema
+	case OpDistinct, OpLimit:
+		// Identity structure; distinct compares whole items and limit reads
+		// nothing, so both leave A = ∅ and M = ∅.
+	case OpOrderBy:
+		var accessed []path.Path
+		for _, k := range o.sortKeys {
+			accessed = append(accessed, k.Paths()...)
+		}
+		info.Inputs[0].Accessed = dedupPaths(accessed)
+	case OpFlatten:
+		// The accessed/manipulated path is a_col[pos]: the pos-th element of
+		// the flattened collection.
+		colPos := o.flattenCol.SchemaLevel().Clone()
+		colPos[len(colPos)-1].Index = path.Pos
+		info.Inputs[0].Accessed = []path.Path{colPos}
+		info.Manipulated = []Mapping{{In: colPos, Out: path.New(o.flattenNew)}}
+	case OpAggregate:
+		var accessed []path.Path
+		var manip []Mapping
+		for _, g := range o.groupBy {
+			// Grouping by a struct-valued key compares every leaf of the
+			// struct, so all its leaf attributes are accessed (Ex. 6.6 marks
+			// user and its children).
+			accessed = append(accessed, expandLeaves(g.Path.SchemaLevel(), sample)...)
+			manip = append(manip, Mapping{In: g.Path.SchemaLevel(), Out: path.New(g.Name), GroupKey: true})
+		}
+		for _, a := range o.aggs {
+			if len(a.In) > 0 {
+				accessed = append(accessed, a.In.SchemaLevel())
+			}
+			out := path.New(a.Out)
+			if a.Func == AggCollectList {
+				// Bag nesting: the aggregated value lands at out[pos], the
+				// position matching the input id's position in ids_i (Alg. 4).
+				// collect_set deduplicates and so loses the id↔position
+				// alignment; its mapping targets the whole collection, which
+				// is conservative but sound.
+				out[len(out)-1].Index = path.Pos
+			}
+			in := a.In.SchemaLevel()
+			if len(in) == 0 {
+				in = nil
+			}
+			manip = append(manip, Mapping{In: in, Out: out})
+		}
+		info.Inputs[0].Accessed = dedupPaths(accessed)
+		info.Manipulated = manip
+	}
+	return info
+}
+
+// collectSelect walks select fields, accumulating accessed paths and
+// manipulation mappings. outPrefix is the output path of the enclosing
+// struct fields.
+func collectSelect(fields []SelectField, outPrefix path.Path, accessed *[]path.Path, manip *[]Mapping) {
+	for _, f := range fields {
+		out := outPrefix.Append(path.Step{Attr: f.Name, Index: path.NoIndex})
+		switch {
+		case len(f.Col) > 0:
+			in := f.Col.SchemaLevel()
+			*accessed = append(*accessed, in)
+			*manip = append(*manip, Mapping{In: in, Out: out})
+		case len(f.Struct) > 0:
+			collectSelect(f.Struct, out, accessed, manip)
+		case f.Expr != nil:
+			// Computed field: accessed paths are known, the mapping is not.
+			*accessed = append(*accessed, f.Expr.Paths()...)
+		}
+	}
+}
+
+// expandLeaves expands a path whose value is a struct (data item) into the
+// paths of all its leaf attributes, using a sample item to discover the
+// schema. Non-struct values yield the path itself.
+func expandLeaves(p path.Path, sample nested.Value) []path.Path {
+	if sample.IsNull() {
+		return []path.Path{p}
+	}
+	v, ok := p.Eval(sample)
+	if !ok || v.Kind() != nested.KindItem {
+		return []path.Path{p}
+	}
+	var out []path.Path
+	for _, f := range v.Fields() {
+		out = append(out, expandLeaves(p.Append(path.Step{Attr: f.Name, Index: path.NoIndex}), sample)...)
+	}
+	if len(out) == 0 {
+		return []path.Path{p}
+	}
+	return out
+}
+
+func dedupPaths(paths []path.Path) []path.Path {
+	s := path.NewSet(paths...)
+	return s.Paths()
+}
+
+// topLevelSchema returns the top-level attribute names of a dataset,
+// inferred from its first row; empty datasets yield nil.
+func topLevelSchema(d *Dataset) []string {
+	for _, part := range d.Partitions {
+		if len(part) > 0 {
+			return part[0].Value.AttrNames()
+		}
+	}
+	return nil
+}
+
+// schemaType returns the item type of the dataset's rows, for union's type
+// precondition; ok is false for empty datasets.
+func schemaType(d *Dataset) (nested.Type, bool) {
+	for _, part := range d.Partitions {
+		if len(part) > 0 {
+			return nested.TypeOf(part[0].Value), true
+		}
+	}
+	return nested.Type{}, false
+}

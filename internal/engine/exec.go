@@ -1,0 +1,907 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pebble/internal/nested"
+)
+
+// Options configures one pipeline execution.
+type Options struct {
+	// Partitions is the degree of data parallelism (default 4).
+	Partitions int
+	// Sequential disables goroutine parallelism; useful for debugging and
+	// for single-threaded benchmarking.
+	Sequential bool
+	// Sink receives provenance capture events; nil disables capture.
+	Sink CaptureSink
+	// IDGen supplies top-level identifiers. When nil a fresh generator
+	// starting at 1 is used.
+	IDGen *IDGen
+	// KeepIntermediates retains every operator's output dataset in the
+	// result (source outputs are always retained).
+	KeepIntermediates bool
+	// BroadcastJoinThreshold is the build-side row count up to which joins
+	// broadcast the smaller side instead of shuffling both. 0 uses the
+	// default (2000); negative disables broadcast joins.
+	BroadcastJoinThreshold int
+}
+
+// OpStats reports per-operator execution metrics.
+type OpStats struct {
+	OID     int
+	Type    OpType
+	Rows    int
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a pipeline execution.
+type Result struct {
+	// Output is the sink operator's dataset.
+	Output *Dataset
+	// Sources maps source operator ids to their (freshly annotated) output
+	// datasets; backtracing resolves provenance identifiers against these.
+	Sources map[int]*Dataset
+	// Intermediates maps every operator id to its output when
+	// Options.KeepIntermediates is set.
+	Intermediates map[int]*Dataset
+	// Stats lists per-operator metrics in execution order.
+	Stats []OpStats
+}
+
+// TotalElapsed sums the per-operator execution times.
+func (r *Result) TotalElapsed() time.Duration {
+	var total time.Duration
+	for _, s := range r.Stats {
+		total += s.Elapsed
+	}
+	return total
+}
+
+// Run executes the pipeline over the named input datasets and returns the
+// sink's output. Each source operator annotates its input with fresh
+// top-level identifiers (so a dataset read twice is annotated twice, as in
+// the paper's scenario T3).
+func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Partitions < 1 {
+		opts.Partitions = 4
+	}
+	gen := opts.IDGen
+	if gen == nil {
+		gen = NewIDGen(1)
+	}
+	ex := &executor{opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset)}
+	res := &Result{Sources: make(map[int]*Dataset)}
+	if opts.KeepIntermediates {
+		res.Intermediates = make(map[int]*Dataset)
+	}
+	for _, o := range p.Ops() {
+		start := time.Now()
+		out, err := ex.exec(o)
+		if err != nil {
+			return nil, fmt.Errorf("engine: operator %s: %w", o, err)
+		}
+		ex.outputs[o.id] = out
+		if o.typ == OpSource {
+			res.Sources[o.id] = out
+		}
+		if opts.KeepIntermediates {
+			res.Intermediates[o.id] = out
+		}
+		res.Stats = append(res.Stats, OpStats{OID: o.id, Type: o.typ, Rows: out.Len(), Elapsed: time.Since(start)})
+	}
+	res.Output = ex.outputs[p.Sink().id]
+	// Free non-sink intermediates unless requested (sources stay reachable
+	// through res.Sources).
+	return res, nil
+}
+
+type executor struct {
+	opts    Options
+	gen     *IDGen
+	inputs  map[string]*Dataset
+	outputs map[int]*Dataset
+}
+
+func (e *executor) exec(o *Op) (*Dataset, error) {
+	switch o.typ {
+	case OpSource:
+		return e.execSource(o)
+	case OpFilter:
+		return e.execFilter(o)
+	case OpSelect:
+		return e.execSelect(o)
+	case OpMap:
+		return e.execMap(o)
+	case OpJoin:
+		return e.execJoin(o)
+	case OpUnion:
+		return e.execUnion(o)
+	case OpFlatten:
+		return e.execFlatten(o)
+	case OpAggregate:
+		return e.execAggregate(o)
+	case OpDistinct:
+		return e.execDistinct(o)
+	case OpOrderBy:
+		return e.execOrderBy(o)
+	case OpLimit:
+		return e.execLimit(o)
+	}
+	return nil, fmt.Errorf("unknown operator type %q", o.typ)
+}
+
+func (e *executor) in(o *Op, i int) *Dataset { return e.outputs[o.inputs[i].id] }
+
+// forEachPartition runs f for every partition index, in parallel unless
+// Options.Sequential is set, and returns the first error.
+func (e *executor) forEachPartition(n int, f func(part int) error) error {
+	if e.opts.Sequential || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			errs[part] = f(part)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pending is a produced row awaiting its identifier, carrying the
+// association data the capture sink needs.
+type pending struct {
+	value nested.Value
+	in1   int64
+	in2   int64
+	pos   int
+	inIDs []int64
+}
+
+type assocKind uint8
+
+const (
+	assocNone assocKind = iota
+	assocUnary
+	assocBinary
+	assocFlatten
+	assocAgg
+	// assocMultiUnary emits one unary association per id in inIDs (distinct:
+	// every collapsed duplicate contributes to the output item).
+	assocMultiUnary
+)
+
+// finalize assigns identifiers to the pending rows of every partition
+// (deterministically: partition-major order) and emits the associations to
+// the sink.
+func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Dataset, error) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	base := e.gen.Reserve(int64(total))
+	offsets := make([]int64, len(parts))
+	off := base
+	for i, p := range parts {
+		offsets[i] = off
+		off += int64(len(p))
+	}
+	partitions := make([][]Row, len(parts))
+	err := e.forEachPartition(len(parts), func(part int) error {
+		rows := make([]Row, len(parts[part]))
+		id := offsets[part]
+		for i, pr := range parts[part] {
+			rows[i] = Row{ID: id, Value: pr.value}
+			if e.opts.Sink != nil {
+				switch kind {
+				case assocUnary:
+					e.opts.Sink.Unary(oid, part, pr.in1, id)
+				case assocBinary:
+					e.opts.Sink.Binary(oid, part, pr.in1, pr.in2, id)
+				case assocFlatten:
+					e.opts.Sink.FlattenAssoc(oid, part, pr.in1, pr.pos, id)
+				case assocAgg:
+					e.opts.Sink.AggAssoc(oid, part, pr.inIDs, id)
+				case assocMultiUnary:
+					for _, in := range pr.inIDs {
+						e.opts.Sink.Unary(oid, part, in, id)
+					}
+				}
+			}
+			id++
+		}
+		partitions[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Partitions: partitions}, nil
+}
+
+func (e *executor) startOperator(o *Op, parts int, leftSchema, rightSchema []string, sample nested.Value) {
+	if e.opts.Sink != nil {
+		e.opts.Sink.StartOperator(opInfo(o, leftSchema, rightSchema, sample), parts)
+	}
+}
+
+// sampleRow returns the first row value of a dataset, or null when empty.
+func sampleRow(d *Dataset) nested.Value {
+	for _, p := range d.Partitions {
+		if len(p) > 0 {
+			return p[0].Value
+		}
+	}
+	return nested.Null()
+}
+
+func (e *executor) execSource(o *Op) (*Dataset, error) {
+	src, ok := e.inputs[o.sourceName]
+	if !ok {
+		return nil, fmt.Errorf("no input dataset named %q", o.sourceName)
+	}
+	in := src.Repartition(e.opts.Partitions)
+	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
+	// Reading annotates every top-level item with a fresh identifier.
+	total := in.Len()
+	base := e.gen.Reserve(int64(total))
+	offsets := make([]int64, len(in.Partitions))
+	off := base
+	for i, p := range in.Partitions {
+		offsets[i] = off
+		off += int64(len(p))
+	}
+	partitions := make([][]Row, len(in.Partitions))
+	err := e.forEachPartition(len(in.Partitions), func(part int) error {
+		rows := make([]Row, len(in.Partitions[part]))
+		id := offsets[part]
+		for i, r := range in.Partitions[part] {
+			rows[i] = Row{ID: id, Value: r.Value}
+			if e.opts.Sink != nil {
+				e.opts.Sink.SourceRow(o.id, part, id, r.ID)
+			}
+			id++
+		}
+		partitions[part] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: o.sourceName, Partitions: partitions}, nil
+}
+
+func (e *executor) execFilter(o *Op) (*Dataset, error) {
+	in := e.in(o, 0)
+	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
+	parts := make([][]pending, len(in.Partitions))
+	err := e.forEachPartition(len(in.Partitions), func(part int) error {
+		var out []pending
+		for _, r := range in.Partitions[part] {
+			v, err := o.pred.Eval(r.Value)
+			if err != nil {
+				return err
+			}
+			keep, ok := v.AsBool()
+			if !ok {
+				return fmt.Errorf("filter predicate %s returned non-boolean %s", o.pred, v)
+			}
+			if keep {
+				out = append(out, pending{value: r.Value, in1: r.ID})
+			}
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocUnary)
+}
+
+func (e *executor) execSelect(o *Op) (*Dataset, error) {
+	in := e.in(o, 0)
+	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
+	parts := make([][]pending, len(in.Partitions))
+	err := e.forEachPartition(len(in.Partitions), func(part int) error {
+		out := make([]pending, 0, len(in.Partitions[part]))
+		for _, r := range in.Partitions[part] {
+			item, err := evalSelect(o.fields, r.Value)
+			if err != nil {
+				return err
+			}
+			out = append(out, pending{value: item, in1: r.ID})
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocUnary)
+}
+
+func evalSelect(fields []SelectField, d nested.Value) (nested.Value, error) {
+	out := make([]nested.Field, 0, len(fields))
+	for _, f := range fields {
+		switch {
+		case len(f.Col) > 0:
+			v, ok := f.Col.Eval(d)
+			if !ok {
+				v = nested.Null()
+			}
+			out = append(out, nested.F(f.Name, v))
+		case len(f.Struct) > 0:
+			v, err := evalSelect(f.Struct, d)
+			if err != nil {
+				return nested.Value{}, err
+			}
+			out = append(out, nested.F(f.Name, v))
+		case f.Expr != nil:
+			v, err := f.Expr.Eval(d)
+			if err != nil {
+				return nested.Value{}, err
+			}
+			out = append(out, nested.F(f.Name, v))
+		default:
+			return nested.Value{}, fmt.Errorf("select field %q has no column, struct, or expression", f.Name)
+		}
+	}
+	return nested.Item(out...), nil
+}
+
+func (e *executor) execMap(o *Op) (*Dataset, error) {
+	in := e.in(o, 0)
+	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
+	parts := make([][]pending, len(in.Partitions))
+	err := e.forEachPartition(len(in.Partitions), func(part int) error {
+		out := make([]pending, 0, len(in.Partitions[part]))
+		for _, r := range in.Partitions[part] {
+			v, err := o.mapFn.Fn(r.Value)
+			if err != nil {
+				return fmt.Errorf("map %s: %w", o.mapFn.Name, err)
+			}
+			if v.Kind() != nested.KindItem {
+				return fmt.Errorf("map %s returned %s, want a data item (τ(λ(i)) ⇒ ⟨...⟩)", o.mapFn.Name, v.Kind())
+			}
+			out = append(out, pending{value: v, in1: r.ID})
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocUnary)
+}
+
+func (e *executor) execFlatten(o *Op) (*Dataset, error) {
+	in := e.in(o, 0)
+	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
+	parts := make([][]pending, len(in.Partitions))
+	err := e.forEachPartition(len(in.Partitions), func(part int) error {
+		var out []pending
+		for _, r := range in.Partitions[part] {
+			col, ok := o.flattenCol.Eval(r.Value)
+			if !ok || col.IsNull() {
+				continue // no collection to explode
+			}
+			if !col.Kind().IsCollection() {
+				return fmt.Errorf("flatten: %s is %s, want bag or set", o.flattenCol, col.Kind())
+			}
+			for idx, elem := range col.Elems() {
+				v := r.Value.WithField(o.flattenNew, elem)
+				out = append(out, pending{value: v, in1: r.ID, pos: idx + 1})
+			}
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocFlatten)
+}
+
+func (e *executor) execUnion(o *Op) (*Dataset, error) {
+	left, right := e.in(o, 0), e.in(o, 1)
+	lt, lok := schemaType(left)
+	rt, rok := schemaType(right)
+	if lok && rok && !nested.Compatible(lt, rt) {
+		return nil, fmt.Errorf("union: incompatible input types %s and %s", lt, rt)
+	}
+	e.startOperator(o, len(left.Partitions)+len(right.Partitions), topLevelSchema(left), topLevelSchema(right), nested.Null())
+	parts := make([][]pending, len(left.Partitions)+len(right.Partitions))
+	nl := len(left.Partitions)
+	err := e.forEachPartition(len(parts), func(part int) error {
+		var src []Row
+		isLeft := part < nl
+		if isLeft {
+			src = left.Partitions[part]
+		} else {
+			src = right.Partitions[part-nl]
+		}
+		out := make([]pending, 0, len(src))
+		for _, r := range src {
+			p := pending{value: r.Value, in1: -1, in2: -1}
+			if isLeft {
+				p.in1 = r.ID
+			} else {
+				p.in2 = r.ID
+			}
+			out = append(out, p)
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocBinary)
+}
+
+// keyedRow is a row shuffled to a bucket with its evaluated key and a global
+// sequence number that keeps grouping deterministic.
+type keyedRow struct {
+	row Row
+	key nested.Value
+	seq int
+}
+
+// shuffle hash-partitions the dataset's rows into buckets by key expression.
+// Rows with null keys are dropped (they can never match an equi-join and
+// SQL group-by treats them as their own group — callers that need null
+// groups pass keepNull).
+func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, error), buckets int, keepNull bool) ([][]keyedRow, error) {
+	out := make([][]keyedRow, buckets)
+	perPart := make([][][]keyedRow, len(d.Partitions))
+	// Global sequence numbers: partition-major.
+	starts := make([]int, len(d.Partitions))
+	n := 0
+	for i, p := range d.Partitions {
+		starts[i] = n
+		n += len(p)
+	}
+	err := e.forEachPartition(len(d.Partitions), func(part int) error {
+		local := make([][]keyedRow, buckets)
+		for i, r := range d.Partitions[part] {
+			k, err := key(r.Value)
+			if err != nil {
+				return err
+			}
+			if k.IsNull() && !keepNull {
+				continue
+			}
+			b := int(k.Hash() % uint64(buckets))
+			local[b] = append(local[b], keyedRow{row: r, key: k, seq: starts[part] + i})
+		}
+		perPart[part] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, local := range perPart {
+		for b := range out {
+			out[b] = append(out[b], local[b]...)
+		}
+	}
+	return out, nil
+}
+
+// defaultBroadcastThreshold is the build-side row count up to which the
+// join broadcasts the small side instead of shuffling both (Spark's
+// broadcast hash join heuristic).
+const defaultBroadcastThreshold = 2000
+
+func (e *executor) execJoin(o *Op) (*Dataset, error) {
+	left, right := e.in(o, 0), e.in(o, 1)
+	threshold := e.opts.BroadcastJoinThreshold
+	if threshold == 0 {
+		threshold = defaultBroadcastThreshold
+	}
+	// Left outer joins always take the shuffle path (the broadcast probe
+	// cannot track unmatched build rows without cross-partition state).
+	if !o.leftOuter && threshold > 0 && (left.Len() <= threshold || right.Len() <= threshold) {
+		return e.execBroadcastJoin(o, left, right)
+	}
+	nParts := e.opts.Partitions
+	if o.leftOuter {
+		// Null-key left rows are emitted in extra per-left-partition chunks.
+		nParts += len(left.Partitions)
+	}
+	e.startOperator(o, nParts, topLevelSchema(left), topLevelSchema(right), nested.Null())
+	lb, err := e.shuffle(left, o.leftKey.Eval, e.opts.Partitions, false)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := e.shuffle(right, o.rightKey.Eval, e.opts.Partitions, false)
+	if err != nil {
+		return nil, err
+	}
+	rightSchema := topLevelSchema(right)
+	parts := make([][]pending, e.opts.Partitions)
+	err = e.forEachPartition(e.opts.Partitions, func(part int) error {
+		// Build on the left, probe with the right; outputs ordered by
+		// (right seq, left seq) for determinism.
+		build := make(map[uint64][]keyedRow)
+		for _, kr := range lb[part] {
+			h := kr.key.Hash()
+			build[h] = append(build[h], kr)
+		}
+		matched := make(map[int64]bool)
+		var out []pending
+		probe := make([]keyedRow, len(rb[part]))
+		copy(probe, rb[part])
+		sort.Slice(probe, func(i, j int) bool { return probe[i].seq < probe[j].seq })
+		for _, rkr := range probe {
+			for _, lkr := range build[rkr.key.Hash()] {
+				if compareWidened(lkr.key, rkr.key) != 0 {
+					continue
+				}
+				item, err := concatItems(lkr.row.Value, rkr.row.Value)
+				if err != nil {
+					return err
+				}
+				matched[lkr.row.ID] = true
+				out = append(out, pending{value: item, in1: lkr.row.ID, in2: rkr.row.ID})
+			}
+		}
+		if o.leftOuter {
+			// Unmatched left rows survive with null right attributes; rows
+			// whose key is null never reached this bucket, so they are
+			// handled below per left partition — here only keyed rows.
+			unmatched := make([]keyedRow, 0)
+			for _, kr := range lb[part] {
+				if !matched[kr.row.ID] {
+					unmatched = append(unmatched, kr)
+				}
+			}
+			sort.Slice(unmatched, func(i, j int) bool { return unmatched[i].seq < unmatched[j].seq })
+			for _, kr := range unmatched {
+				item, err := concatWithNulls(kr.row.Value, rightSchema)
+				if err != nil {
+					return err
+				}
+				out = append(out, pending{value: item, in1: kr.row.ID, in2: -1})
+			}
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.leftOuter {
+		// Left rows with null join keys were dropped by the shuffle but must
+		// survive a left outer join.
+		nullParts := make([][]pending, len(left.Partitions))
+		err = e.forEachPartition(len(left.Partitions), func(part int) error {
+			var out []pending
+			for _, r := range left.Partitions[part] {
+				k, err := o.leftKey.Eval(r.Value)
+				if err != nil {
+					return err
+				}
+				if !k.IsNull() {
+					continue
+				}
+				item, err := concatWithNulls(r.Value, rightSchema)
+				if err != nil {
+					return err
+				}
+				out = append(out, pending{value: item, in1: r.ID, in2: -1})
+			}
+			nullParts[part] = out
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, nullParts...)
+	}
+	return e.finalize(o.id, parts, assocBinary)
+}
+
+// concatWithNulls extends a left item with null values for the right side's
+// top-level attributes (the unmatched row of a left outer join).
+func concatWithNulls(l nested.Value, rightSchema []string) (nested.Value, error) {
+	if l.Kind() != nested.KindItem {
+		return nested.Value{}, fmt.Errorf("join: inputs must be data items, got %s", l.Kind())
+	}
+	fields := make([]nested.Field, 0, l.NumFields()+len(rightSchema))
+	fields = append(fields, l.Fields()...)
+	for _, a := range rightSchema {
+		if _, dup := l.Get(a); dup {
+			return nested.Value{}, fmt.Errorf("join: attribute %q exists on both sides; project inputs to disjoint names", a)
+		}
+		fields = append(fields, nested.F(a, nested.Null()))
+	}
+	return nested.Item(fields...), nil
+}
+
+// execBroadcastJoin hash-joins by building the smaller side once and probing
+// the larger side within its existing partitions, avoiding the shuffle of
+// the probe side entirely — the broadcast hash join of distributed engines.
+// Results are identical to the shuffle join up to row order.
+func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, error) {
+	buildLeft := left.Len() <= right.Len()
+	buildDS, probeDS := left, right
+	buildKey, probeKey := o.leftKey, o.rightKey
+	if !buildLeft {
+		buildDS, probeDS = right, left
+		buildKey, probeKey = o.rightKey, o.leftKey
+	}
+	e.startOperator(o, len(probeDS.Partitions), topLevelSchema(left), topLevelSchema(right), nested.Null())
+	// Build once, sequentially (the build side is small by construction).
+	build := make(map[uint64][]keyedRow)
+	for _, p := range buildDS.Partitions {
+		for _, r := range p {
+			k, err := buildKey.Eval(r.Value)
+			if err != nil {
+				return nil, err
+			}
+			if k.IsNull() {
+				continue
+			}
+			build[k.Hash()] = append(build[k.Hash()], keyedRow{row: r, key: k})
+		}
+	}
+	parts := make([][]pending, len(probeDS.Partitions))
+	err := e.forEachPartition(len(probeDS.Partitions), func(part int) error {
+		var out []pending
+		for _, r := range probeDS.Partitions[part] {
+			k, err := probeKey.Eval(r.Value)
+			if err != nil {
+				return err
+			}
+			if k.IsNull() {
+				continue
+			}
+			for _, bkr := range build[k.Hash()] {
+				if compareWidened(bkr.key, k) != 0 {
+					continue
+				}
+				lRow, rRow := bkr.row, r
+				if !buildLeft {
+					lRow, rRow = r, bkr.row
+				}
+				item, err := concatItems(lRow.Value, rRow.Value)
+				if err != nil {
+					return err
+				}
+				out = append(out, pending{value: item, in1: lRow.ID, in2: rRow.ID})
+			}
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocBinary)
+}
+
+// concatItems builds the join result r = ⟨i, j⟩ by concatenating the
+// attributes of both items; attribute names must be disjoint.
+func concatItems(l, r nested.Value) (nested.Value, error) {
+	if l.Kind() != nested.KindItem || r.Kind() != nested.KindItem {
+		return nested.Value{}, fmt.Errorf("join: inputs must be data items, got %s and %s", l.Kind(), r.Kind())
+	}
+	fields := make([]nested.Field, 0, l.NumFields()+r.NumFields())
+	fields = append(fields, l.Fields()...)
+	for _, f := range r.Fields() {
+		if _, dup := l.Get(f.Name); dup {
+			return nested.Value{}, fmt.Errorf("join: attribute %q exists on both sides; project inputs to disjoint names", f.Name)
+		}
+		fields = append(fields, f)
+	}
+	return nested.Item(fields...), nil
+}
+
+func (e *executor) execAggregate(o *Op) (*Dataset, error) {
+	in := e.in(o, 0)
+	e.startOperator(o, e.opts.Partitions, nil, nil, sampleRow(in))
+	keyFn := func(d nested.Value) (nested.Value, error) {
+		fields := make([]nested.Field, len(o.groupBy))
+		for i, g := range o.groupBy {
+			v, ok := g.Path.Eval(d)
+			if !ok {
+				v = nested.Null()
+			}
+			fields[i] = nested.F(g.Name, v)
+		}
+		return nested.Item(fields...), nil
+	}
+	buckets, err := e.shuffle(in, keyFn, e.opts.Partitions, true)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]pending, e.opts.Partitions)
+	err = e.forEachPartition(e.opts.Partitions, func(part int) error {
+		// Group rows within the bucket by full key equality.
+		type group struct {
+			key  nested.Value
+			rows []keyedRow
+		}
+		groups := make(map[uint64][]*group)
+		var order []*group
+		for _, kr := range buckets[part] {
+			h := kr.key.Hash()
+			var g *group
+			for _, cand := range groups[h] {
+				if nested.Equal(cand.key, kr.key) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &group{key: kr.key}
+				groups[h] = append(groups[h], g)
+				order = append(order, g)
+			}
+			g.rows = append(g.rows, kr)
+		}
+		// Deterministic output: groups ordered by key, rows by sequence.
+		sort.Slice(order, func(i, j int) bool { return nested.Compare(order[i].key, order[j].key) < 0 })
+		var out []pending
+		for _, g := range order {
+			sort.Slice(g.rows, func(i, j int) bool { return g.rows[i].seq < g.rows[j].seq })
+			fields := make([]nested.Field, 0, len(o.groupBy)+len(o.aggs))
+			fields = append(fields, g.key.Fields()...)
+			for _, spec := range o.aggs {
+				av, err := computeAgg(spec, g.rows)
+				if err != nil {
+					return err
+				}
+				fields = append(fields, nested.F(spec.Out, av))
+			}
+			// The contributing-identifier collection is only materialised
+			// when provenance is captured — it is the dominant share of the
+			// aggregation's capture cost (Sec. 7.3.1).
+			var ids []int64
+			if e.opts.Sink != nil {
+				ids = make([]int64, len(g.rows))
+				for i, kr := range g.rows {
+					ids[i] = kr.row.ID
+				}
+			}
+			out = append(out, pending{value: nested.Item(fields...), inIDs: ids})
+		}
+		parts[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.finalize(o.id, parts, assocAgg)
+}
+
+// computeAgg evaluates one aggregation over the rows of a group. The order
+// of collected elements matches the row order, which in turn matches the
+// order of the recorded input identifiers — the invariant Alg. 4's position
+// substitution relies on.
+func computeAgg(spec AggSpec, rows []keyedRow) (nested.Value, error) {
+	if spec.Func == AggCount && len(spec.In) == 0 {
+		return nested.Int(int64(len(rows))), nil
+	}
+	if len(spec.In) == 0 {
+		return nested.Value{}, fmt.Errorf("aggregate %s needs an input path", spec.Func)
+	}
+	values := make([]nested.Value, 0, len(rows))
+	for _, kr := range rows {
+		v, ok := spec.In.Eval(kr.row.Value)
+		if !ok {
+			v = nested.Null()
+		}
+		values = append(values, v)
+	}
+	switch spec.Func {
+	case AggCount:
+		n := int64(0)
+		for _, v := range values {
+			if !v.IsNull() {
+				n++
+			}
+		}
+		return nested.Int(n), nil
+	case AggSum, AggAvg:
+		var sum float64
+		var sumI int64
+		allInt := true
+		n := 0
+		for _, v := range values {
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsDouble()
+			if !ok {
+				return nested.Value{}, fmt.Errorf("aggregate %s over non-numeric %s", spec.Func, v.Kind())
+			}
+			if i, isInt := v.AsInt(); isInt {
+				sumI += i
+			} else {
+				allInt = false
+			}
+			sum += f
+			n++
+		}
+		if spec.Func == AggAvg {
+			if n == 0 {
+				return nested.Null(), nil
+			}
+			return nested.Double(sum / float64(n)), nil
+		}
+		if allInt {
+			return nested.Int(sumI), nil
+		}
+		return nested.Double(sum), nil
+	case AggMax, AggMin:
+		var best nested.Value
+		found := false
+		for _, v := range values {
+			if v.IsNull() {
+				continue
+			}
+			if !found {
+				best = v
+				found = true
+				continue
+			}
+			c := compareWidened(v, best)
+			if (spec.Func == AggMax && c > 0) || (spec.Func == AggMin && c < 0) {
+				best = v
+			}
+		}
+		if !found {
+			return nested.Null(), nil
+		}
+		return best, nil
+	case AggCollectList:
+		// Nulls are kept so that element positions stay aligned with the
+		// recorded input-identifier order (the invariant Alg. 4 relies on).
+		return nested.Bag(values...), nil
+	case AggCollectSet:
+		elems := make([]nested.Value, 0, len(values))
+		for _, v := range values {
+			if !v.IsNull() {
+				elems = append(elems, v)
+			}
+		}
+		return nested.Set(elems...), nil
+	}
+	return nested.Value{}, fmt.Errorf("unknown aggregate function %q", spec.Func)
+}
+
+// Explain renders the execution statistics as a table: one line per
+// operator with its output row count and wall time.
+func (r *Result) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-10s %10s %14s\n", "op", "type", "rows", "elapsed")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&sb, "%-4d %-10s %10d %14s\n", s.OID, s.Type, s.Rows, s.Elapsed)
+	}
+	fmt.Fprintf(&sb, "total: %d rows, %s\n", r.Output.Len(), r.TotalElapsed())
+	return sb.String()
+}

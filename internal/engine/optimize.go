@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"fmt"
+
+	"pebble/internal/path"
+)
+
+// Optimize applies provenance-safe rule-based rewrites to the pipeline and
+// returns the rewritten plan together with a log of the applied rules. It
+// mirrors the basic rewrites of Spark's Catalyst optimizer that the paper's
+// query processing benefits from ("It becomes part of Spark's execution plan
+// and undergoes optimizations such as filter push down", Sec. 7.3.3):
+//
+//   - merge adjacent filters into one conjunctive filter;
+//   - push filters below selects when every predicate column maps to a
+//     preserved input column (the predicate is rewritten through the
+//     select's manipulation mapping);
+//   - push filters below flattens when the predicate does not read the
+//     exploded attribute;
+//   - push filters below unions (into both branches).
+//
+// All rewrites preserve result multisets and, because structural provenance
+// is captured on whatever plan executes, they change the captured operator
+// set but never the backtraced input items.
+func Optimize(p *Pipeline) (*Pipeline, []string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st := clonePlan(p)
+	var log []string
+	for changed := true; changed; {
+		changed = false
+		for _, n := range st.nodes {
+			if rule, ok := st.tryRewrite(n); ok {
+				log = append(log, rule)
+				changed = true
+				break
+			}
+		}
+	}
+	out := rebuild(st)
+	return out, log, nil
+}
+
+// planState is the optimizer's working plan: all nodes plus the sink.
+type planState struct {
+	nodes []*planNode
+	sink  *planNode
+}
+
+// planNode is the mutable optimizer IR: one node per operator with direct
+// input pointers.
+type planNode struct {
+	typ    OpType
+	inputs []*planNode
+
+	sourceName string
+	pred       Expr
+	fields     []SelectField
+	mapFn      MapFunc
+	leftKey    Expr
+	rightKey   Expr
+	flattenCol path.Path
+	flattenNew string
+	groupBy    []GroupKey
+	aggs       []AggSpec
+	sortKeys   []Expr
+	sortDesc   bool
+	limit      int
+
+	removed bool
+}
+
+func clonePlan(p *Pipeline) *planState {
+	byOp := make(map[*Op]*planNode, len(p.ops))
+	nodes := make([]*planNode, 0, len(p.ops))
+	for _, o := range p.ops {
+		n := &planNode{
+			typ:        o.typ,
+			sourceName: o.sourceName,
+			pred:       o.pred,
+			fields:     o.fields,
+			mapFn:      o.mapFn,
+			leftKey:    o.leftKey,
+			rightKey:   o.rightKey,
+			flattenCol: o.flattenCol,
+			flattenNew: o.flattenNew,
+			groupBy:    o.groupBy,
+			aggs:       o.aggs,
+			sortKeys:   o.sortKeys,
+			sortDesc:   o.sortDesc,
+			limit:      o.limit,
+		}
+		for _, in := range o.inputs {
+			n.inputs = append(n.inputs, byOp[in])
+		}
+		byOp[o] = n
+		nodes = append(nodes, n)
+	}
+	return &planState{nodes: nodes, sink: byOp[p.sink]}
+}
+
+// consumers counts how many live nodes consume n.
+func (st *planState) consumers(n *planNode) int {
+	c := 0
+	for _, o := range st.nodes {
+		if o.removed {
+			continue
+		}
+		for _, in := range o.inputs {
+			if in == n {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// tryRewrite attempts one rewrite rooted at n; it reports the applied rule.
+func (st *planState) tryRewrite(n *planNode) (string, bool) {
+	if n.removed || n.typ != OpFilter {
+		return "", false
+	}
+	child := n.inputs[0]
+	if child.removed || st.consumers(child) != 1 {
+		return "", false
+	}
+	switch child.typ {
+	case OpFilter:
+		// filter(filter(x, p1), p2) -> filter(x, p1 && p2)
+		n.pred = And(child.pred, n.pred)
+		n.inputs[0] = child.inputs[0]
+		child.removed = true
+		return "merge-filters", true
+	case OpSelect:
+		rewritten, ok := rewriteThroughSelect(n.pred, child.fields)
+		if !ok {
+			return "", false
+		}
+		// filter(select(x), p) -> select(filter(x, p'))
+		st.swapUnary(n, child)
+		n.pred = rewritten
+		return "pushdown-filter-below-select", true
+	case OpFlatten:
+		// Safe when the predicate never reads the exploded attribute.
+		for _, pp := range n.pred.Paths() {
+			if len(pp) > 0 && pp[0].Attr == child.flattenNew {
+				return "", false
+			}
+		}
+		st.swapUnary(n, child)
+		return "pushdown-filter-below-flatten", true
+	case OpUnion:
+		// filter(union(a, b), p) -> union(filter(a, p), filter(b, p))
+		left := &planNode{typ: OpFilter, pred: n.pred, inputs: []*planNode{child.inputs[0]}}
+		right := &planNode{typ: OpFilter, pred: n.pred, inputs: []*planNode{child.inputs[1]}}
+		child.inputs = []*planNode{left, right}
+		st.replaceConsumer(n, child)
+		n.removed = true
+		st.nodes = append(st.nodes, left, right)
+		return "pushdown-filter-below-union", true
+	}
+	return "", false
+}
+
+// swapUnary rewires filter n below its unary child: x -> child -> n -> ...
+// becomes x -> n -> child -> ...
+func (st *planState) swapUnary(n, child *planNode) {
+	grand := child.inputs[0]
+	st.replaceConsumer(n, child)
+	child.inputs = []*planNode{n}
+	n.inputs = []*planNode{grand}
+}
+
+// replaceConsumer redirects every consumer of old to new and keeps the sink
+// pointer current when the replaced node was the sink.
+func (st *planState) replaceConsumer(old, new *planNode) {
+	for _, o := range st.nodes {
+		if o == new {
+			continue
+		}
+		for i, in := range o.inputs {
+			if in == old {
+				o.inputs[i] = new
+			}
+		}
+	}
+	if st.sink == old {
+		st.sink = new
+	}
+}
+
+// rewriteThroughSelect maps a predicate over a select's output schema to one
+// over its input schema, or reports false when any accessed path has no
+// plain column mapping.
+func rewriteThroughSelect(pred Expr, fields []SelectField) (Expr, bool) {
+	var mappings []Mapping
+	var accessed []path.Path
+	collectSelect(fields, nil, &accessed, &mappings)
+	rewrite := func(p path.Path) (path.Path, bool) {
+		for _, m := range mappings {
+			if out, ok := p.ReplacePrefix(m.Out, m.In); ok {
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	return rewriteExpr(pred, rewrite)
+}
+
+// rewriteExpr rebuilds an expression with every column path passed through
+// f; it reports false when any path cannot be rewritten or the expression
+// contains an unknown node type.
+func rewriteExpr(e Expr, f func(path.Path) (path.Path, bool)) (Expr, bool) {
+	switch x := e.(type) {
+	case colExpr:
+		p, ok := f(x.p)
+		if !ok {
+			return nil, false
+		}
+		return ColPath(p), true
+	case litExpr:
+		return x, true
+	case cmpExpr:
+		l, ok := rewriteExpr(x.l, f)
+		if !ok {
+			return nil, false
+		}
+		r, ok := rewriteExpr(x.r, f)
+		if !ok {
+			return nil, false
+		}
+		return cmpExpr{op: x.op, l: l, r: r}, true
+	case boolExpr:
+		ops := make([]Expr, len(x.operands))
+		for i, o := range x.operands {
+			ro, ok := rewriteExpr(o, f)
+			if !ok {
+				return nil, false
+			}
+			ops[i] = ro
+		}
+		return boolExpr{and: x.and, operands: ops}, true
+	case notExpr:
+		inner, ok := rewriteExpr(x.e, f)
+		if !ok {
+			return nil, false
+		}
+		return notExpr{e: inner}, true
+	case containsExpr:
+		s, ok := rewriteExpr(x.str, f)
+		if !ok {
+			return nil, false
+		}
+		sub, ok := rewriteExpr(x.substr, f)
+		if !ok {
+			return nil, false
+		}
+		return containsExpr{str: s, substr: sub}, true
+	case isNullExpr:
+		inner, ok := rewriteExpr(x.e, f)
+		if !ok {
+			return nil, false
+		}
+		return isNullExpr{e: inner}, true
+	case lenExpr:
+		inner, ok := rewriteExpr(x.e, f)
+		if !ok {
+			return nil, false
+		}
+		return lenExpr{e: inner}, true
+	}
+	return nil, false
+}
+
+// rebuild emits a fresh Pipeline from the optimized IR in dependency order.
+func rebuild(st *planState) *Pipeline {
+	p := NewPipeline()
+	built := make(map[*planNode]*Op)
+	var build func(n *planNode) *Op
+	build = func(n *planNode) *Op {
+		if op, ok := built[n]; ok {
+			return op
+		}
+		ins := make([]*Op, len(n.inputs))
+		for i, in := range n.inputs {
+			ins[i] = build(in)
+		}
+		var op *Op
+		switch n.typ {
+		case OpSource:
+			op = p.Source(n.sourceName)
+		case OpFilter:
+			op = p.Filter(ins[0], n.pred)
+		case OpSelect:
+			op = p.Select(ins[0], n.fields...)
+		case OpMap:
+			op = p.Map(ins[0], n.mapFn)
+		case OpJoin:
+			op = p.Join(ins[0], ins[1], n.leftKey, n.rightKey)
+		case OpUnion:
+			op = p.Union(ins[0], ins[1])
+		case OpFlatten:
+			op = p.Flatten(ins[0], n.flattenCol.String(), n.flattenNew)
+		case OpAggregate:
+			op = p.Aggregate(ins[0], n.groupBy, n.aggs)
+		case OpDistinct:
+			op = p.Distinct(ins[0])
+		case OpOrderBy:
+			op = p.OrderBy(ins[0], n.sortDesc, n.sortKeys...)
+		case OpLimit:
+			op = p.Limit(ins[0], n.limit)
+		default:
+			panic(fmt.Sprintf("engine: optimizer cannot rebuild %q", n.typ))
+		}
+		built[n] = op
+		return op
+	}
+	sinkOp := build(st.sink)
+	p.SetSink(sinkOp)
+	return p
+}

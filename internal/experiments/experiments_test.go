@@ -1,0 +1,201 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"pebble/internal/experiments"
+	"pebble/internal/workload"
+)
+
+// tinyCfg keeps the harness tests fast; correctness of the measured systems
+// is covered elsewhere, here we validate the harness itself.
+var tinyCfg = experiments.Config{Partitions: 2, Reps: 1}
+
+func tinySweep() experiments.Sweep {
+	return experiments.Sweep{SimGBs: []int{1}, TweetsPerGB: 100, RecordsPerGB: 300}
+}
+
+func TestCaptureOverheadRow(t *testing.T) {
+	sc, err := workload.ByName("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := experiments.CaptureOverhead(sc, experiments.ScaleFor(1, 100, 300), tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "T2" || row.SimGB != 1 {
+		t.Errorf("row labels wrong: %+v", row)
+	}
+	if row.Spark <= 0 || row.Pebble <= 0 {
+		t.Errorf("durations missing: %+v", row)
+	}
+}
+
+func TestFig6And7Sweeps(t *testing.T) {
+	rows, err := experiments.Fig6(tinyCfg, tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fig6 rows = %d, want 5 (one per scenario)", len(rows))
+	}
+	out := experiments.RenderOverhead("Fig 6", rows)
+	for _, want := range []string{"T1", "T5", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	rows7, err := experiments.Fig7(tinyCfg, tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 5 {
+		t.Fatalf("fig7 rows = %d", len(rows7))
+	}
+}
+
+func TestFig8Sizes(t *testing.T) {
+	rows, err := experiments.Fig8a(tinyCfg, tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LineageBytes <= 0 || r.StructuralExtra <= 0 {
+			t.Errorf("%s: sizes missing: %+v", r.Scenario, r)
+		}
+		if r.TotalBytes() != r.LineageBytes+r.StructuralExtra {
+			t.Errorf("%s: total inconsistent", r.Scenario)
+		}
+	}
+	rows8b, err := experiments.Fig8b(tinyCfg, tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DBLP dataset has >10x more items per simulated GB than Twitter, so
+	// its total provenance must be larger at the same scale — the MB-vs-GB
+	// y-axis contrast of Fig. 8.
+	var tTotal, dTotal int64
+	for _, r := range rows {
+		tTotal += r.TotalBytes()
+	}
+	for _, r := range rows8b {
+		dTotal += r.TotalBytes()
+	}
+	if dTotal <= tTotal {
+		t.Errorf("DBLP provenance (%d) should exceed Twitter provenance (%d)", dTotal, tTotal)
+	}
+	if out := experiments.RenderSizes("Fig 8", rows); !strings.Contains(out, "lineage") {
+		t.Error("size rendering broken")
+	}
+}
+
+func TestFig9QueryTimes(t *testing.T) {
+	sc, err := workload.ByName("T3") // two inputs: lazy must rerun twice
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large enough that the lazy re-executions dominate the measurement
+	// noise; reps > 1 to smooth scheduler spikes.
+	cfg := experiments.Config{Partitions: 2, Reps: 3}
+	row, err := experiments.QueryTimes(sc, experiments.ScaleFor(8, 100, 300), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Eager <= 0 || row.Lazy <= 0 || row.Items <= 0 {
+		t.Errorf("query row incomplete: %+v", row)
+	}
+	// The eager/holistic approach is always faster than lazy (Sec. 7.3.3):
+	// lazy pays one full capture re-execution per input dataset.
+	if row.Lazy <= row.Eager {
+		t.Errorf("lazy (%v) should exceed eager (%v)", row.Lazy, row.Eager)
+	}
+	if out := experiments.RenderQueries("Fig 9", []experiments.QueryRow{row}); !strings.Contains(out, "lazy") {
+		t.Error("query rendering broken")
+	}
+}
+
+func TestTitianComparisonRows(t *testing.T) {
+	rows, err := experiments.TitianComparison(experiments.ScaleFor(2, 100, 300), tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].System != "Titian" || rows[1].System != "Pebble" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Base != rows[1].Base {
+		t.Error("both systems must share the same baseline")
+	}
+	if out := experiments.RenderTitian(rows); !strings.Contains(out, "Titian") {
+		t.Error("titian rendering broken")
+	}
+}
+
+func TestPerOperatorRows(t *testing.T) {
+	rows, err := experiments.PerOperatorOverhead(experiments.ScaleFor(1, 100, 300), tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"filter": true, "select": true, "map": true, "flatten": true,
+		"union": true, "join": true, "aggregate": true}
+	for _, r := range rows {
+		delete(want, r.Operator)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing operators: %v", want)
+	}
+	if out := experiments.RenderPerOperator(rows); !strings.Contains(out, "aggregate") {
+		t.Error("per-operator rendering broken")
+	}
+}
+
+func TestFig10Rendering(t *testing.T) {
+	out, err := experiments.Fig10(tinyCfg, tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"heatmap", "leaked items", "influencing-only", "year"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig10 output missing %q", want)
+		}
+	}
+}
+
+func TestFlatWorkloadShape(t *testing.T) {
+	inputs := experiments.FlatDBLPInputs(experiments.ScaleFor(1, 100, 300), 2)
+	if inputs["articles.flat"].Len() == 0 || inputs["inproceedings.flat"].Len() == 0 {
+		t.Fatal("flat inputs empty")
+	}
+	for _, r := range inputs["articles.flat"].Rows()[:3] {
+		line, ok := r.Value.Get("line")
+		if !ok || line.Kind().String() != "string" {
+			t.Fatalf("flat record is not a single string: %s", r.Value)
+		}
+	}
+	if err := experiments.FlatPipeline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnnotationComparison reproduces the Sec. 2 annotation argument: on the
+// five tweets of Tab. 1 Lipstick needs 35 annotations where structural
+// provenance needs 5.
+func TestAnnotationComparison(t *testing.T) {
+	rows := experiments.AnnotationComparison(workload.ExampleTweets())
+	if rows[0].Annotations != 5 {
+		t.Errorf("top-level annotations = %d, want 5", rows[0].Annotations)
+	}
+	if rows[1].Annotations != 35 {
+		t.Errorf("Lipstick annotations = %d, want 35 (Tab. 1 superscripts)", rows[1].Annotations)
+	}
+	out := experiments.RenderAnnotations("Sec 2", rows)
+	if !strings.Contains(out, "7.0x") {
+		t.Errorf("ratio missing:\n%s", out)
+	}
+	// On the wide synthetic tweets the gap widens far beyond 7x.
+	gen := experiments.AnnotationComparison(workload.GenerateTwitter(workload.DefaultScale(1)))
+	if gen[1].Annotations < gen[0].Annotations*20 {
+		t.Errorf("wide tweets should need >20x annotations: %v", gen)
+	}
+}

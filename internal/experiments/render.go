@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pebble/internal/core"
+	"pebble/internal/usage"
+	"pebble/internal/workload"
+)
+
+// ScaleFor builds the workload scale for a simulated size, honouring
+// per-dataset item densities.
+func ScaleFor(simGB, tweetsPerGB, recordsPerGB int) workload.Scale {
+	return workload.Scale{SimGB: simGB, TweetsPerGB: tweetsPerGB, RecordsPerGB: recordsPerGB, Seed: 42}
+}
+
+// Sweep holds the data sizes of one figure (the paper sweeps 100–500 GB).
+type Sweep struct {
+	SimGBs       []int
+	TweetsPerGB  int
+	RecordsPerGB int
+}
+
+// DefaultSweep mirrors the paper's 100..500 GB sweep at default densities.
+func DefaultSweep() Sweep {
+	return Sweep{SimGBs: []int{100, 200, 300, 400, 500}, TweetsPerGB: 200, RecordsPerGB: 2000}
+}
+
+// Fig6 measures the capture runtime overhead of T1–T5 over the sweep.
+func Fig6(cfg Config, sweep Sweep) ([]OverheadRow, error) {
+	return overheadSweep(cfg, sweep, workload.TwitterScenarios())
+}
+
+// Fig7 measures the capture runtime overhead of D1–D5 over the sweep.
+func Fig7(cfg Config, sweep Sweep) ([]OverheadRow, error) {
+	return overheadSweep(cfg, sweep, workload.DBLPScenarios())
+}
+
+func overheadSweep(cfg Config, sweep Sweep, scenarios []workload.Scenario) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, gb := range sweep.SimGBs {
+		for _, sc := range scenarios {
+			row, err := CaptureOverhead(sc, ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%dGB: %w", sc.Name, gb, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderOverhead renders Fig. 6/7 style rows.
+func RenderOverhead(title string, rows []OverheadRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %6s %14s %14s %10s\n", title, "S", "simGB", "spark", "pebble", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %6d %14s %14s %9.1f%%\n",
+			r.Scenario, r.SimGB, fmtDur(r.Spark), fmtDur(r.Pebble), r.OverheadPct)
+	}
+	return sb.String()
+}
+
+// Fig8a measures the provenance sizes of T1–T5 at the first sweep size.
+func Fig8a(cfg Config, sweep Sweep) ([]SizeRow, error) {
+	return sizeRows(cfg, sweep, workload.TwitterScenarios())
+}
+
+// Fig8b measures the provenance sizes of D1–D5 at the first sweep size.
+func Fig8b(cfg Config, sweep Sweep) ([]SizeRow, error) {
+	return sizeRows(cfg, sweep, workload.DBLPScenarios())
+}
+
+func sizeRows(cfg Config, sweep Sweep, scenarios []workload.Scenario) ([]SizeRow, error) {
+	gb := 100
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	var rows []SizeRow
+	for _, sc := range scenarios {
+		row, err := ProvenanceSize(sc, ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSizes renders Fig. 8 style rows.
+func RenderSizes(title string, rows []SizeRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %6s %14s %18s %14s\n", title, "S", "simGB", "lineage", "structural-extra", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %6d %14s %18s %14s\n",
+			r.Scenario, r.SimGB, fmtBytes(r.LineageBytes), fmtBytes(r.StructuralExtra), fmtBytes(r.TotalBytes()))
+	}
+	return sb.String()
+}
+
+// Fig9a measures eager vs lazy query time for T1–T5 at the first sweep size.
+func Fig9a(cfg Config, sweep Sweep) ([]QueryRow, error) {
+	return queryRows(cfg, sweep, workload.TwitterScenarios())
+}
+
+// Fig9b measures eager vs lazy query time for D1–D5 at the first sweep size.
+func Fig9b(cfg Config, sweep Sweep) ([]QueryRow, error) {
+	return queryRows(cfg, sweep, workload.DBLPScenarios())
+}
+
+func queryRows(cfg Config, sweep Sweep, scenarios []workload.Scenario) ([]QueryRow, error) {
+	gb := 100
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	var rows []QueryRow
+	for _, sc := range scenarios {
+		row, err := QueryTimes(sc, ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderQueries renders Fig. 9 style rows.
+func RenderQueries(title string, rows []QueryRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %6s %14s %14s %8s %8s\n", title, "S", "simGB", "eager", "lazy", "lazy/eag", "items")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %6d %14s %14s %7.1fx %8d\n",
+			r.Scenario, r.SimGB, fmtDur(r.Eager), fmtDur(r.Lazy), r.Factor, r.Items)
+	}
+	return sb.String()
+}
+
+// RenderTitian renders the Sec. 7.3.4 comparison.
+func RenderTitian(rows []TitianRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sec 7.3.4 — Titian vs Pebble on flat data (paper: 5.89%% vs 6.98%%)\n")
+	fmt.Fprintf(&sb, "%-8s %14s %14s %10s\n", "system", "w/o capture", "w capture", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %14s %14s %9.1f%%\n", r.System, fmtDur(r.Base), fmtDur(r.WithCapture), r.OverheadPct)
+	}
+	return sb.String()
+}
+
+// RenderPerOperator renders the per-operator analysis of Sec. 7.3.1.
+func RenderPerOperator(rows []OpOverheadRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sec 7.3.1 — per-operator capture overhead (aggregation highest)\n")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %10s\n", "operator", "spark", "pebble", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %14s %14s %9.1f%%\n", r.Operator, fmtDur(r.Spark), fmtDur(r.Pebble), r.OverheadPct)
+	}
+	return sb.String()
+}
+
+// Fig10 runs the use-case analysis of Sec. 7.3.5 over D1–D5 and renders the
+// heatmap plus audit summary.
+func Fig10(cfg Config, sweep Sweep) (string, error) {
+	cfg = cfg.withDefaults()
+	gb := 1
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	session := core.Session{Partitions: cfg.Partitions}
+	analysis := usage.NewAnalysis()
+	for _, sc := range workload.DBLPScenarios() {
+		cap, err := session.Capture(sc.Build(), sc.Input(scale, cfg.Partitions))
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		q, err := cap.QueryAll()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		analysis.AddQuery(q, cap.Provenance)
+	}
+	inputs := workload.DBLPInput(scale, 1)
+	var universe []int64
+	for _, r := range inputs["dblp.json"].Rows() {
+		rt, _ := r.Value.Get("record_type")
+		if s, _ := rt.AsString(); s == "inproceedings" {
+			universe = append(universe, r.ID)
+		}
+	}
+	schema := []string{"key", "record_type", "title", "authors", "year", "crossref", "pages", "ee"}
+	items := usage.SampleItems(universe, 25, 42)
+	rep := analysis.Audit(universe, schema)
+
+	var sb strings.Builder
+	sb.WriteString("Fig 10 — heatmap of 25 random DBLP inproceedings after D1-D5\n")
+	sb.WriteString("(cells: contribution count, ~n influence-only, . cold)\n")
+	sb.WriteString(analysis.Heatmap(items, schema))
+	fmt.Fprintf(&sb, "\nleaked items: %d/%d; leaked attrs: %v\ninfluencing-only attrs: %v; cold attrs: %v\n",
+		len(rep.LeakedItems), len(universe), rep.LeakedAttrs, rep.InfluencingAttrs, rep.ColdAttrs)
+	fmt.Fprintf(&sb, "frequent contributing attribute pairs: %v\n", analysis.TopPairs(5))
+	return sb.String(), nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,568 @@
+// Package invariants property-tests the whole stack on randomly generated
+// pipelines: the paper's central correctness claim — the contributing data
+// returned by backtracing suffices to reproduce the queried result items —
+// plus structural invariants of the captured provenance.
+package invariants
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/core"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+)
+
+// randDataset builds a random input of items with a fixed base schema:
+// {id:int, cat:string, val:int, tags:{{string}}, subs:{{<k:string, v:int>}}}.
+func randDataset(r *rand.Rand, n int) []nested.Value {
+	cats := []string{"a", "b", "c", "d"}
+	words := []string{"x", "y", "z", "w"}
+	out := make([]nested.Value, 0, n)
+	for i := 0; i < n; i++ {
+		nt := r.Intn(4)
+		tags := make([]nested.Value, 0, nt)
+		for j := 0; j < nt; j++ {
+			tags = append(tags, nested.StringVal(words[r.Intn(len(words))]))
+		}
+		ns := r.Intn(3)
+		subs := make([]nested.Value, 0, ns)
+		for j := 0; j < ns; j++ {
+			subs = append(subs, nested.Item(
+				nested.F("k", nested.StringVal(words[r.Intn(len(words))])),
+				nested.F("v", nested.Int(int64(r.Intn(10)))),
+			))
+		}
+		out = append(out, nested.Item(
+			nested.F("id", nested.Int(int64(i))),
+			nested.F("cat", nested.StringVal(cats[r.Intn(len(cats))])),
+			nested.F("val", nested.Int(int64(r.Intn(20)))),
+			nested.F("tags", nested.Bag(tags...)),
+			nested.F("subs", nested.Bag(subs...)),
+		))
+	}
+	return out
+}
+
+// pipelineState tracks the schema while the generator appends operators, so
+// every generated pipeline is well-formed.
+type pipelineState struct {
+	op *engine.Op
+	// attrs maps attribute name to a coarse type tag: "int", "str",
+	// "strbag", "subbag", "subitem".
+	attrs map[string]string
+}
+
+func baseState(op *engine.Op) *pipelineState {
+	return &pipelineState{op: op, attrs: map[string]string{
+		"id": "int", "cat": "str", "val": "int", "tags": "strbag", "subs": "subbag",
+	}}
+}
+
+// randPipeline builds a random pipeline of 2–6 operators over the input
+// dataset "in". It returns the pipeline; the sink is the last operator.
+func randPipeline(r *rand.Rand) *engine.Pipeline {
+	p := engine.NewPipeline()
+	st := baseState(p.Source("in"))
+	steps := 2 + r.Intn(4)
+	for i := 0; i < steps; i++ {
+		st = randStep(r, p, st)
+	}
+	return p
+}
+
+func randStep(r *rand.Rand, p *engine.Pipeline, st *pipelineState) *pipelineState {
+	choices := []string{"filter", "filter", "select"}
+	if st.attrs["tags"] == "strbag" || st.attrs["subs"] == "subbag" {
+		choices = append(choices, "flatten", "flatten")
+	}
+	if st.attrs["cat"] == "str" && (st.attrs["val"] == "int" || st.attrs["id"] == "int") {
+		choices = append(choices, "aggregate")
+	}
+	if len(st.attrs) > 0 {
+		choices = append(choices, "union", "distinct", "orderby", "limit")
+	}
+	switch choices[r.Intn(len(choices))] {
+	case "filter":
+		pred := randPred(r, st)
+		return &pipelineState{op: p.Filter(st.op, pred), attrs: st.attrs}
+	case "select":
+		fields, attrs := randSelect(r, st)
+		return &pipelineState{op: p.Select(st.op, fields...), attrs: attrs}
+	case "flatten":
+		if st.attrs["tags"] == "strbag" && (st.attrs["subs"] != "subbag" || r.Intn(2) == 0) {
+			attrs := copyAttrs(st.attrs)
+			attrs["tag"] = "str"
+			attrs["tags"] = "consumedbag"
+			return &pipelineState{op: p.Flatten(st.op, "tags", "tag"), attrs: attrs}
+		}
+		attrs := copyAttrs(st.attrs)
+		attrs["sub"] = "subitem"
+		attrs["subs"] = "consumedbag"
+		return &pipelineState{op: p.Flatten(st.op, "subs", "sub"), attrs: attrs}
+	case "aggregate":
+		aggIn := "val"
+		if st.attrs["val"] != "int" {
+			aggIn = "id"
+		}
+		fn := []engine.AggFunc{engine.AggCollectList, engine.AggSum, engine.AggCount, engine.AggMax}[r.Intn(4)]
+		op := p.Aggregate(st.op,
+			[]engine.GroupKey{engine.Key("cat")},
+			[]engine.AggSpec{engine.Agg(fn, aggIn, "agg_out")},
+		)
+		return &pipelineState{op: op, attrs: map[string]string{"cat": "str", "agg_out": "other"}}
+	case "union":
+		// Union with itself keeps the schema and doubles multiplicities.
+		return &pipelineState{op: p.Union(st.op, st.op), attrs: st.attrs}
+	case "distinct":
+		return &pipelineState{op: p.Distinct(st.op), attrs: st.attrs}
+	case "orderby":
+		key := "cat"
+		if st.attrs["val"] == "int" && r.Intn(2) == 0 {
+			key = "val"
+		}
+		if st.attrs[key] == "" || st.attrs[key] == "consumedbag" {
+			return st
+		}
+		return &pipelineState{op: p.OrderBy(st.op, r.Intn(2) == 0, engine.Col(key)), attrs: st.attrs}
+	case "limit":
+		return &pipelineState{op: p.Limit(st.op, 5+r.Intn(20)), attrs: st.attrs}
+	}
+	return st
+}
+
+func randPred(r *rand.Rand, st *pipelineState) engine.Expr {
+	var preds []engine.Expr
+	if st.attrs["val"] == "int" {
+		preds = append(preds, engine.Le(engine.Col("val"), engine.LitInt(int64(5+r.Intn(15)))))
+	}
+	if st.attrs["cat"] == "str" {
+		cats := []string{"a", "b", "c", "d"}
+		preds = append(preds, engine.Ne(engine.Col("cat"), engine.LitString(cats[r.Intn(len(cats))])))
+	}
+	if st.attrs["tag"] == "str" {
+		preds = append(preds, engine.Ne(engine.Col("tag"), engine.LitString("w")))
+	}
+	if len(preds) == 0 {
+		return engine.LitBool(true)
+	}
+	return preds[r.Intn(len(preds))]
+}
+
+func randSelect(r *rand.Rand, st *pipelineState) ([]engine.SelectField, map[string]string) {
+	var fields []engine.SelectField
+	attrs := map[string]string{}
+	for name, typ := range st.attrs {
+		if typ == "consumedbag" {
+			continue
+		}
+		if r.Intn(4) == 0 { // drop ~25% of attributes
+			continue
+		}
+		fields = append(fields, engine.Column(name, name))
+		attrs[name] = typ
+	}
+	// Keep at least cat and one more attribute so later steps stay possible.
+	if _, ok := attrs["cat"]; !ok && st.attrs["cat"] != "" && st.attrs["cat"] != "consumedbag" {
+		fields = append(fields, engine.Column("cat", "cat"))
+		attrs["cat"] = st.attrs["cat"]
+	}
+	if len(attrs) < 2 {
+		for name, typ := range st.attrs {
+			if typ == "consumedbag" || attrs[name] != "" {
+				continue
+			}
+			fields = append(fields, engine.Column(name, name))
+			attrs[name] = typ
+			break
+		}
+	}
+	return fields, attrs
+}
+
+func copyAttrs(in map[string]string) map[string]string {
+	out := make(map[string]string, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// union-by-self means the same source feeds two edges; Validate allows it
+// and backtracing handles both sides mapping to the same predecessor.
+
+// TestSufficiencyInvariant is the paper's central correctness property: for
+// a random pipeline and a random queried result item, re-running the
+// pipeline on only the contributing input items reproduces the queried item.
+func TestSufficiencyInvariant(t *testing.T) {
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		values := randDataset(r, 20+r.Intn(30))
+		pipe := randPipeline(r)
+		gen := engine.NewIDGen(1)
+		inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 3, gen)}
+		res, run, err := provenance.Capture(pipe, inputs, engine.Options{Partitions: 3})
+		if err != nil {
+			t.Fatalf("trial %d: capture: %v\nplan:\n%s", trial, err, pipe)
+		}
+		rows := res.Output.Rows()
+		if len(rows) == 0 {
+			continue // pipeline filtered everything; nothing to check
+		}
+		row := rows[r.Intn(len(rows))]
+		b := backtrace.NewStructure()
+		b.Add(row.ID, core.TreeFromValue(row.Value))
+		traced, err := backtrace.Trace(run, pipe.Sink().ID(), b)
+		if err != nil {
+			t.Fatalf("trial %d: trace: %v\nplan:\n%s", trial, err, pipe)
+		}
+		// Collect the contributing raw-input indexes across all reads.
+		keep := map[int64]bool{}
+		total := 0
+		for oid, s := range traced.BySource {
+			op, ok := run.Op(oid)
+			if !ok {
+				t.Fatalf("trial %d: traced unknown source %d", trial, oid)
+			}
+			toOrig := map[int64]int64{}
+			for _, sa := range op.SourceIDs {
+				toOrig[sa.ID] = sa.OrigID
+			}
+			for _, it := range s.Items {
+				orig, ok := toOrig[it.ID]
+				if !ok {
+					t.Fatalf("trial %d: traced id %d missing in source %d", trial, it.ID, oid)
+				}
+				keep[orig] = true
+				total++
+			}
+		}
+		if total == 0 {
+			t.Errorf("trial %d: queried item has no provenance\nplan:\n%s", trial, pipe)
+			continue
+		}
+		// Re-run on the reduced input.
+		var reduced []nested.Value
+		for _, ir := range inputs["in"].Rows() {
+			if keep[ir.ID] {
+				reduced = append(reduced, ir.Value)
+			}
+		}
+		gen2 := engine.NewIDGen(1)
+		reducedInputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", reduced, 3, gen2)}
+		res2, err := engine.Run(pipe, reducedInputs, engine.Options{Partitions: 3})
+		if err != nil {
+			t.Fatalf("trial %d: reduced run: %v", trial, err)
+		}
+		// Collection element order depends on how rows land in partitions,
+		// which the reduced run redistributes; compare order-insensitively.
+		want := normalize(row.Value)
+		found := false
+		for _, r2 := range res2.Output.Rows() {
+			if nested.Equal(normalize(r2.Value), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("trial %d: reduced input (%d of %d items) does not reproduce the queried item\nitem: %s\nplan:\n%s",
+				trial, len(reduced), len(values), row.Value, pipe)
+		}
+	}
+}
+
+// normalize sorts every (transitively) contained collection so values can be
+// compared independently of partition-induced element order.
+func normalize(v nested.Value) nested.Value {
+	switch v.Kind() {
+	case nested.KindItem:
+		fields := make([]nested.Field, v.NumFields())
+		for i, f := range v.Fields() {
+			fields[i] = nested.F(f.Name, normalize(f.Value))
+		}
+		return nested.Item(fields...)
+	case nested.KindBag, nested.KindSet:
+		elems := make([]nested.Value, len(v.Elems()))
+		for i, e := range v.Elems() {
+			elems[i] = normalize(e)
+		}
+		return nested.Bag(elems...).SortElems()
+	default:
+		return v
+	}
+}
+
+// TestAssociationClosureInvariant checks on random pipelines that every
+// input identifier recorded by an operator was produced by its predecessor
+// and every result row has an association.
+func TestAssociationClosureInvariant(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(5000 + trial)))
+		values := randDataset(r, 15+r.Intn(25))
+		pipe := randPipeline(r)
+		gen := engine.NewIDGen(1)
+		inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 2, gen)}
+		res, run, err := provenance.Capture(pipe, inputs, engine.Options{Partitions: 2})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nplan:\n%s", trial, err, pipe)
+		}
+		produced := map[int]map[int64]bool{}
+		for _, op := range run.Operators() {
+			ids := map[int64]bool{}
+			for _, a := range op.Unary {
+				ids[a.Out] = true
+			}
+			for _, a := range op.Binary {
+				ids[a.Out] = true
+			}
+			for _, a := range op.Flatten {
+				ids[a.Out] = true
+			}
+			for _, a := range op.Agg {
+				ids[a.Out] = true
+			}
+			for _, sa := range op.SourceIDs {
+				ids[sa.ID] = true
+			}
+			produced[op.OID] = ids
+		}
+		for _, op := range run.Operators() {
+			if op.Type == engine.OpSource {
+				continue
+			}
+			check := func(id int64, inputIdx int) {
+				if id == -1 {
+					return
+				}
+				if !produced[op.Inputs[inputIdx].Pred][id] {
+					t.Errorf("trial %d: op %d consumes unknown id %d\nplan:\n%s", trial, op.OID, id, pipe)
+				}
+			}
+			for _, a := range op.Unary {
+				check(a.In, 0)
+			}
+			for _, a := range op.Binary {
+				check(a.Left, 0)
+				check(a.Right, 1)
+			}
+			for _, a := range op.Flatten {
+				check(a.In, 0)
+			}
+			for _, a := range op.Agg {
+				for _, id := range a.Ins {
+					check(id, 0)
+				}
+			}
+		}
+		sinkIDs := produced[pipe.Sink().ID()]
+		for _, row := range res.Output.Rows() {
+			if !sinkIDs[row.ID] {
+				t.Errorf("trial %d: result row %d lacks an association", trial, row.ID)
+			}
+		}
+	}
+}
+
+// TestDeterminismInvariant: the engine's output (values and order) is
+// deterministic across runs and independent of capture.
+func TestDeterminismInvariant(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(9000 + trial)))
+		values := randDataset(r, 20)
+		pipe := randPipeline(r)
+		runOnce := func(capture bool) []nested.Value {
+			gen := engine.NewIDGen(1)
+			inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 3, gen)}
+			var res *engine.Result
+			var err error
+			if capture {
+				res, _, err = provenance.Capture(pipe, inputs, engine.Options{Partitions: 3})
+			} else {
+				res, err = engine.Run(pipe, inputs, engine.Options{Partitions: 3})
+			}
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return res.Output.Values()
+		}
+		a, b, c := runOnce(false), runOnce(false), runOnce(true)
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("trial %d: nondeterministic row counts %d/%d/%d\nplan:\n%s",
+				trial, len(a), len(b), len(c), pipe)
+		}
+		for i := range a {
+			if !nested.Equal(a[i], b[i]) {
+				t.Errorf("trial %d: row %d differs across runs", trial, i)
+			}
+			if !nested.Equal(a[i], c[i]) {
+				t.Errorf("trial %d: row %d differs with capture enabled", trial, i)
+			}
+		}
+	}
+}
+
+// TestBacktraceTotalCoverage: tracing the full result covers a superset of
+// each single-item trace.
+func TestBacktraceTotalCoverage(t *testing.T) {
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(7000 + trial)))
+		values := randDataset(r, 20)
+		pipe := randPipeline(r)
+		gen := engine.NewIDGen(1)
+		inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 2, gen)}
+		res, run, err := provenance.Capture(pipe, inputs, engine.Options{Partitions: 2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rows := res.Output.Rows()
+		if len(rows) == 0 {
+			continue
+		}
+		all := backtrace.NewStructure()
+		for _, row := range rows {
+			all.Add(row.ID, core.TreeFromValue(row.Value))
+		}
+		allTraced, err := backtrace.Trace(run, pipe.Sink().ID(), all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allIDs := map[string]bool{}
+		for oid, s := range allTraced.BySource {
+			for _, id := range s.IDs() {
+				allIDs[fmt.Sprintf("%d/%d", oid, id)] = true
+			}
+		}
+		one := backtrace.NewStructure()
+		one.Add(rows[0].ID, core.TreeFromValue(rows[0].Value))
+		oneTraced, err := backtrace.Trace(run, pipe.Sink().ID(), one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oid, s := range oneTraced.BySource {
+			for _, id := range s.IDs() {
+				if !allIDs[fmt.Sprintf("%d/%d", oid, id)] {
+					t.Errorf("trial %d: single-item trace found %d/%d missing from full trace", trial, oid, id)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerPreservesResultsAndProvenance: for random pipelines, the
+// optimized plan produces the same result multiset, and tracing a random
+// result item reaches the same raw input items.
+func TestOptimizerPreservesResultsAndProvenance(t *testing.T) {
+	const trials = 40
+	optimizedAtLeastOnce := false
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(3000 + trial)))
+		values := randDataset(r, 20+r.Intn(20))
+		pipe := randPipeline(r)
+		opt, rules, err := engine.Optimize(pipe)
+		if err != nil {
+			t.Fatalf("trial %d: optimize: %v\nplan:\n%s", trial, err, pipe)
+		}
+		if len(rules) > 0 {
+			optimizedAtLeastOnce = true
+		}
+		runOne := func(p *engine.Pipeline) (*engine.Result, *provenance.Run) {
+			gen := engine.NewIDGen(1)
+			inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", values, 3, gen)}
+			res, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 3})
+			if err != nil {
+				t.Fatalf("trial %d: %v\nplan:\n%s", trial, err, p)
+			}
+			return res, run
+		}
+		origRes, origRun := runOne(pipe)
+		optRes, optRun := runOne(opt)
+		// Result multisets match.
+		a := normalizeAll(origRes.Output.Values())
+		b := normalizeAll(optRes.Output.Values())
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: row counts %d vs %d\nrules: %v\noriginal:\n%s\noptimized:\n%s",
+				trial, len(a), len(b), rules, pipe, opt)
+		}
+		for i := range a {
+			if !nested.Equal(a[i], b[i]) {
+				t.Fatalf("trial %d: row %d differs after optimization\nrules: %v", trial, i, rules)
+			}
+		}
+		// Provenance of a random item matches (as raw-input id sets).
+		if origRes.Output.Len() == 0 {
+			continue
+		}
+		pick := r.Intn(origRes.Output.Len())
+		origIDs := traceOrigIDs(t, pipe, origRes, origRun, pick)
+		// Find the matching optimized row by value.
+		want := normalize(origRes.Output.Rows()[pick].Value)
+		optPick := -1
+		for i, row := range optRes.Output.Rows() {
+			if nested.Equal(normalize(row.Value), want) {
+				optPick = i
+				break
+			}
+		}
+		if optPick < 0 {
+			t.Fatalf("trial %d: optimized result misses row %s", trial, want)
+		}
+		optIDs := traceOrigIDs(t, opt, optRes, optRun, optPick)
+		if len(origIDs) != len(optIDs) {
+			t.Fatalf("trial %d: traced %d vs %d inputs after optimization\nrules: %v\nplan:\n%s",
+				trial, len(origIDs), len(optIDs), rules, pipe)
+		}
+		for id := range origIDs {
+			if !optIDs[id] {
+				t.Errorf("trial %d: optimized trace misses input %d (rules %v)", trial, id, rules)
+			}
+		}
+	}
+	if !optimizedAtLeastOnce {
+		t.Error("no random pipeline triggered any optimization rule — generator too weak")
+	}
+}
+
+func normalizeAll(vals []nested.Value) []nested.Value {
+	out := make([]nested.Value, len(vals))
+	for i, v := range vals {
+		out[i] = normalize(v)
+	}
+	sortValues(out)
+	return out
+}
+
+func sortValues(vals []nested.Value) {
+	sort.Slice(vals, func(i, j int) bool { return nested.Compare(vals[i], vals[j]) < 0 })
+}
+
+// traceOrigIDs full-traces one result row to raw-input id set.
+func traceOrigIDs(t *testing.T, pipe *engine.Pipeline, res *engine.Result, run *provenance.Run, rowIdx int) map[int64]bool {
+	t.Helper()
+	row := res.Output.Rows()[rowIdx]
+	b := backtrace.NewStructure()
+	b.Add(row.ID, core.TreeFromValue(row.Value))
+	traced, err := backtrace.Trace(run, pipe.Sink().ID(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int64]bool{}
+	for oid, s := range traced.BySource {
+		op, _ := run.Op(oid)
+		toOrig := map[int64]int64{}
+		for _, sa := range op.SourceIDs {
+			toOrig[sa.ID] = sa.OrigID
+		}
+		for _, it := range s.Items {
+			out[toOrig[it.ID]] = true
+		}
+	}
+	return out
+}

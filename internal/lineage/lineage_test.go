@@ -1,0 +1,174 @@
+package lineage_test
+
+import (
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/lineage"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+func captureBoth(t *testing.T) (*engine.Result, *lineage.Run, *engine.Result, *provenance.Run) {
+	t.Helper()
+	lres, lrun, err := lineage.Capture(workload.ExamplePipeline(), workload.ExampleInput(2),
+		engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, srun, err := provenance.Capture(workload.ExamplePipeline(), workload.ExampleInput(2),
+		engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lres, lrun, sres, srun
+}
+
+func lpRowID(t *testing.T, res *engine.Result) int64 {
+	t.Helper()
+	for _, r := range res.Output.Rows() {
+		u, _ := r.Value.Get("user")
+		id, _ := u.Get("id_str")
+		if s, _ := id.AsString(); s == "lp" {
+			return r.ID
+		}
+	}
+	t.Fatal("lp row missing")
+	return 0
+}
+
+// TestLineageReturnsWholeTweets reproduces the paper's Sec. 2 observation:
+// lineage solutions return all input tweets containing user lp (the
+// light-grey items of Tab. 1), masking the two tweets causing the duplicate.
+func TestLineageReturnsWholeTweets(t *testing.T) {
+	lres, lrun, _, _ := captureBoth(t)
+	traced, err := lrun.Trace(9, []int64{lpRowID(t, lres)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper branch: lp authored 3 tweets with retweet_cnt 0; lower branch:
+	// lp mentioned once.
+	if got := len(traced[1]); got != 3 {
+		t.Errorf("upper-branch lineage items = %d, want 3", got)
+	}
+	if got := len(traced[4]); got != 1 {
+		t.Errorf("lower-branch lineage items = %d, want 1", got)
+	}
+	for oid, ids := range traced {
+		src := lres.Sources[oid]
+		for _, id := range ids {
+			if _, ok := src.FindByID(id); !ok {
+				t.Errorf("lineage id %d missing in source %d", id, oid)
+			}
+		}
+	}
+}
+
+// TestLineageIsSupersetOfStructural: the whole-item lineage of a query must
+// contain every item structural provenance identifies as contributing —
+// lineage is coarser, never smaller.
+func TestLineageIsSupersetOfStructural(t *testing.T) {
+	scale := workload.DefaultScale(1)
+	for _, name := range []string{"T1", "T5", "D1", "D4"} {
+		sc, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := sc.Build()
+		res, srun, err := provenance.Capture(pipe, sc.Input(scale, 4), engine.Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := sc.Pattern.Match(res.Output)
+		if b.Len() == 0 {
+			t.Fatalf("%s: no matches", name)
+		}
+		straced, err := backtrace.Trace(srun, pipe.Sink().ID(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lineage over the same run: rerun under the lineage collector is
+		// not comparable id-wise, so trace the structural run's association
+		// ids through a lineage-equivalent join — here we simply rerun with
+		// lineage capture and compare per-source counts instead of raw ids.
+		lres, lrun, err := lineage.Capture(sc.Build(), sc.Input(scale, 4), engine.Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := sc.Pattern.Match(lres.Output)
+		var outIDs []int64
+		for _, it := range lb.Items {
+			outIDs = append(outIDs, it.ID)
+		}
+		ltraced, err := lrun.Trace(sc.Build().Sink().ID(), outIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lineageTotal, structTotal int
+		for _, ids := range ltraced {
+			lineageTotal += len(ids)
+		}
+		for _, s := range straced.BySource {
+			structTotal += s.Len()
+		}
+		if lineageTotal < structTotal {
+			t.Errorf("%s: lineage item count %d < structural %d", name, lineageTotal, structTotal)
+		}
+	}
+}
+
+// TestLineageSizeVsStructural: lineage is the dark bar of Fig. 8; the
+// structural extra on top stays small relative to id-heavy lineage.
+func TestLineageSizeVsStructural(t *testing.T) {
+	sc, _ := workload.ByName("T2")
+	scale := workload.DefaultScale(2)
+	_, lrun, err := lineage.Capture(sc.Build(), sc.Input(scale, 4), engine.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srun, err := provenance.Capture(sc.Build(), sc.Input(scale, 4), engine.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsize := lrun.SizeBytes()
+	ssize := srun.Sizes()
+	if lsize <= 0 {
+		t.Fatal("lineage size must be positive")
+	}
+	// The lineage share of the structural capture matches the dedicated
+	// lineage run (same pipeline, same data, same association counts).
+	if ssize.LineageBytes != lsize {
+		t.Errorf("structural lineage share %d != lineage size %d", ssize.LineageBytes, lsize)
+	}
+	if ssize.StructuralExtra <= 0 {
+		t.Error("structural extra missing")
+	}
+}
+
+func TestLineageTraceErrors(t *testing.T) {
+	_, lrun, _, _ := captureBoth(t)
+	if _, err := lrun.Trace(42, []int64{1}); err == nil {
+		t.Error("unknown operator should error")
+	}
+	empty, err := lrun.Trace(9, nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty trace: %v, %v", empty, err)
+	}
+}
+
+func TestLineageDeterministicOrder(t *testing.T) {
+	lres, lrun, _, _ := captureBoth(t)
+	a, _ := lrun.Trace(9, []int64{lpRowID(t, lres)})
+	b, _ := lrun.Trace(9, []int64{lpRowID(t, lres)})
+	for oid := range a {
+		if len(a[oid]) != len(b[oid]) {
+			t.Fatal("nondeterministic trace")
+		}
+		for i := range a[oid] {
+			if a[oid][i] != b[oid][i] {
+				t.Error("trace ids not sorted deterministically")
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package nested
+
+import (
+	"testing"
+)
+
+// FuzzParseJSON: arbitrary bytes must never panic the JSON decoder, and any
+// accepted value must re-encode and re-decode to an equal value.
+func FuzzParseJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}}`,
+		`[]`, `{}`, `"s"`, `-12`, `1e3`, `{"a":{"b":{"c":[[1],[2]]}}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted value failed to encode: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, out)
+		}
+		if !Equal(v, back) {
+			t.Fatalf("round trip changed value:\n%s\n%s", v, back)
+		}
+		_ = v.Hash()
+		_ = v.String()
+	})
+}

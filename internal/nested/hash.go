@@ -1,0 +1,72 @@
+package nested
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Hash returns a 64-bit FNV-1a hash of the value. Equal values hash equally;
+// the hash is used for hash joins, group-by shuffles, and set semantics.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (n int, err error)
+}
+
+func (v Value) hashInto(h hasher) {
+	var kindBuf [1]byte
+	kindBuf[0] = byte(v.kind)
+	h.Write(kindBuf[:])
+	var buf [8]byte
+	switch v.kind {
+	case KindInt:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
+		h.Write(buf[:])
+	case KindDouble:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte(v.s))
+	case KindBool:
+		if v.b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case KindItem:
+		for _, f := range v.fields {
+			h.Write([]byte(f.Name))
+			f.Value.hashInto(h)
+		}
+	case KindBag, KindSet:
+		for _, e := range v.elems {
+			e.hashInto(h)
+		}
+	}
+}
+
+// SizeBytes estimates the in-memory footprint of the value in bytes. The
+// evaluation harness uses it to report dataset and provenance sizes in the
+// same "simulated GB" unit as the workload generators.
+func (v Value) SizeBytes() int {
+	const valueHeader = 64 // approximate struct overhead
+	size := valueHeader
+	switch v.kind {
+	case KindString:
+		size += len(v.s)
+	case KindItem:
+		for _, f := range v.fields {
+			size += len(f.Name) + f.Value.SizeBytes()
+		}
+	case KindBag, KindSet:
+		for _, e := range v.elems {
+			size += e.SizeBytes()
+		}
+	}
+	return size
+}

@@ -1,0 +1,197 @@
+package nested
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseJSON decodes one JSON document into a Value, preserving the attribute
+// order of objects (which encoding/json's map decoding would lose). Objects
+// become items, arrays become bags, numbers become ints when they have no
+// fractional part and doubles otherwise.
+func ParseJSON(data []byte) (Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	v, err := decodeValue(dec)
+	if err != nil {
+		return Value{}, err
+	}
+	// Reject trailing garbage.
+	if _, err := dec.Token(); err != io.EOF {
+		return Value{}, fmt.Errorf("nested: trailing data after JSON value")
+	}
+	return v, nil
+}
+
+// ParseJSONLines decodes newline-delimited JSON (one top-level item per
+// line), the format produced by EncodeJSONLines and by cmd/datagen.
+func ParseJSONLines(data []byte) ([]Value, error) {
+	var out []Value
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		v, err := ParseJSON([]byte(line))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func decodeValue(dec *json.Decoder) (Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return Value{}, err
+	}
+	return decodeFromToken(dec, tok)
+}
+
+func decodeFromToken(dec *json.Decoder, tok json.Token) (Value, error) {
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			var fields []Field
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return Value{}, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return Value{}, fmt.Errorf("nested: object key is not a string: %v", keyTok)
+				}
+				val, err := decodeValue(dec)
+				if err != nil {
+					return Value{}, err
+				}
+				fields = append(fields, Field{Name: key, Value: val})
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return Value{}, err
+			}
+			return Item(fields...), nil
+		case '[':
+			var elems []Value
+			for dec.More() {
+				val, err := decodeValue(dec)
+				if err != nil {
+					return Value{}, err
+				}
+				elems = append(elems, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return Value{}, err
+			}
+			return Bag(elems...), nil
+		}
+		return Value{}, fmt.Errorf("nested: unexpected delimiter %v", t)
+	case json.Number:
+		if i, err := strconv.ParseInt(t.String(), 10, 64); err == nil {
+			return Int(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return Value{}, fmt.Errorf("nested: bad number %q: %w", t.String(), err)
+		}
+		return Double(f), nil
+	case string:
+		return StringVal(t), nil
+	case bool:
+		return Bool(t), nil
+	case nil:
+		return Null(), nil
+	}
+	return Value{}, fmt.Errorf("nested: unexpected token %v", tok)
+}
+
+// MarshalJSON encodes the value as JSON, keeping item attribute order. Sets
+// and bags both encode as arrays (JSON has no set syntax); the distinction
+// is only recoverable through the schema.
+func (v Value) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := v.encodeJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (v Value) encodeJSON(buf *bytes.Buffer) error {
+	switch v.kind {
+	case KindNull, KindInvalid:
+		buf.WriteString("null")
+	case KindInt:
+		buf.WriteString(strconv.FormatInt(v.i, 10))
+	case KindDouble:
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			return fmt.Errorf("nested: cannot encode non-finite double %g", v.f)
+		}
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Keep integral doubles recognisable as doubles across a round trip.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		buf.WriteString(s)
+	case KindString:
+		b, err := json.Marshal(v.s)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case KindBool:
+		buf.WriteString(strconv.FormatBool(v.b))
+	case KindItem:
+		buf.WriteByte('{')
+		for i, f := range v.fields {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			nb, err := json.Marshal(f.Name)
+			if err != nil {
+				return err
+			}
+			buf.Write(nb)
+			buf.WriteByte(':')
+			if err := f.Value.encodeJSON(buf); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	case KindBag, KindSet:
+		buf.WriteByte('[')
+		for i, e := range v.elems {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := e.encodeJSON(buf); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	}
+	return nil
+}
+
+// EncodeJSONLines writes one JSON document per value, newline-delimited.
+func EncodeJSONLines(w io.Writer, values []Value) error {
+	var buf bytes.Buffer
+	for _, v := range values {
+		buf.Reset()
+		if err := v.encodeJSON(&buf); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+// Package nested implements the nested data model of Diestelkämper &
+// Herschel (EDBT 2020), Sec. 4.1: datasets are ordered collections of typed
+// nested data items built from constants, items (ordered attribute/value
+// lists), bags (ordered lists with duplicates), and sets (ordered lists
+// without duplicates).
+//
+// A Value is a small variant record rather than an interface hierarchy so
+// that constants do not allocate and values copy cheaply. Values are treated
+// as immutable once shared: operators build new values instead of mutating
+// inputs.
+package nested
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the building blocks of the data model (Tab. 4 in the
+// paper): constants (Int, Double, String, Bool), data items, bags, and sets.
+// Null represents an absent value (e.g. the undefined side of a union).
+type Kind uint8
+
+// The kinds of a Value.
+const (
+	KindInvalid Kind = iota
+	KindNull
+	KindInt
+	KindDouble
+	KindString
+	KindBool
+	KindItem
+	KindBag
+	KindSet
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvalid:
+		return "invalid"
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindItem:
+		return "item"
+	case KindBag:
+		return "bag"
+	case KindSet:
+		return "set"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsConstant reports whether the kind is one of the constant kinds.
+func (k Kind) IsConstant() bool {
+	switch k {
+	case KindInt, KindDouble, KindString, KindBool:
+		return true
+	}
+	return false
+}
+
+// IsCollection reports whether the kind is a bag or a set.
+func (k Kind) IsCollection() bool { return k == KindBag || k == KindSet }
+
+// Field is one attribute/value pair of a data item. Attribute names are
+// unique within an item and the field order is significant (Def. 4.1).
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Value is one nested value: a constant, a data item, a bag, or a set.
+// The zero Value has KindInvalid; use Null() for an explicit null.
+type Value struct {
+	kind   Kind
+	i      int64
+	f      float64
+	s      string
+	b      bool
+	fields []Field
+	elems  []Value
+}
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Int returns an integer constant.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Double returns a floating-point constant.
+func Double(v float64) Value { return Value{kind: KindDouble, f: v} }
+
+// String returns a string constant.
+func StringVal(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean constant.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Item returns a data item with the given fields, in order. Duplicate
+// attribute names are not checked here; use NewItem for checked construction.
+func Item(fields ...Field) Value {
+	return Value{kind: KindItem, fields: fields}
+}
+
+// NewItem returns a data item and verifies that attribute names are unique.
+func NewItem(fields ...Field) (Value, error) {
+	seen := make(map[string]struct{}, len(fields))
+	for _, f := range fields {
+		if _, dup := seen[f.Name]; dup {
+			return Value{}, fmt.Errorf("nested: duplicate attribute %q in item", f.Name)
+		}
+		seen[f.Name] = struct{}{}
+	}
+	return Item(fields...), nil
+}
+
+// F is shorthand for constructing a Field.
+func F(name string, v Value) Field { return Field{Name: name, Value: v} }
+
+// Bag returns an ordered collection that may contain duplicates.
+func Bag(elems ...Value) Value {
+	return Value{kind: KindBag, elems: elems}
+}
+
+// Set returns an ordered collection without duplicates. Duplicates in elems
+// are dropped, keeping the first occurrence.
+func Set(elems ...Value) Value {
+	out := make([]Value, 0, len(elems))
+	for _, e := range elems {
+		dup := false
+		for _, o := range out {
+			if Equal(o, e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return Value{kind: KindSet, elems: out}
+}
+
+// Kind returns the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null or invalid.
+func (v Value) IsNull() bool { return v.kind == KindNull || v.kind == KindInvalid }
+
+// AsInt returns the integer constant and whether the value is an int.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsDouble returns the numeric value as float64 for int and double kinds.
+func (v Value) AsDouble() (float64, bool) {
+	switch v.kind {
+	case KindDouble:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// AsString returns the string constant and whether the value is a string.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean constant and whether the value is a bool.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// NumFields returns the number of attributes of an item, or 0 otherwise.
+func (v Value) NumFields() int { return len(v.fields) }
+
+// FieldAt returns the i-th field of an item.
+func (v Value) FieldAt(i int) Field { return v.fields[i] }
+
+// Fields returns the item's fields. The returned slice must not be modified.
+func (v Value) Fields() []Field { return v.fields }
+
+// Get returns the value of the named attribute of an item.
+func (v Value) Get(name string) (Value, bool) {
+	for _, f := range v.fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// AttrNames returns the attribute names of an item, in order.
+func (v Value) AttrNames() []string {
+	names := make([]string, len(v.fields))
+	for i, f := range v.fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Len returns the number of elements of a bag or set, or 0 otherwise.
+func (v Value) Len() int { return len(v.elems) }
+
+// At returns the element at position i (0-based) of a bag or set.
+func (v Value) At(i int) (Value, bool) {
+	if !v.kind.IsCollection() || i < 0 || i >= len(v.elems) {
+		return Value{}, false
+	}
+	return v.elems[i], true
+}
+
+// Elems returns the collection's elements. The returned slice must not be
+// modified.
+func (v Value) Elems() []Value { return v.elems }
+
+// WithField returns a copy of the item with the named attribute set to val,
+// appending the attribute if absent.
+func (v Value) WithField(name string, val Value) Value {
+	fields := make([]Field, 0, len(v.fields)+1)
+	replaced := false
+	for _, f := range v.fields {
+		if f.Name == name {
+			fields = append(fields, Field{Name: name, Value: val})
+			replaced = true
+		} else {
+			fields = append(fields, f)
+		}
+	}
+	if !replaced {
+		fields = append(fields, Field{Name: name, Value: val})
+	}
+	return Item(fields...)
+}
+
+// WithoutField returns a copy of the item with the named attribute removed.
+func (v Value) WithoutField(name string) Value {
+	fields := make([]Field, 0, len(v.fields))
+	for _, f := range v.fields {
+		if f.Name != name {
+			fields = append(fields, f)
+		}
+	}
+	return Item(fields...)
+}
+
+// Append returns a copy of the collection with e appended. For sets the
+// element is dropped when already present.
+func (v Value) Append(e Value) Value {
+	if v.kind == KindSet {
+		for _, o := range v.elems {
+			if Equal(o, e) {
+				return v
+			}
+		}
+	}
+	elems := make([]Value, len(v.elems), len(v.elems)+1)
+	copy(elems, v.elems)
+	return Value{kind: v.kind, elems: append(elems, e)}
+}
+
+// Clone returns a deep copy of the value.
+func (v Value) Clone() Value {
+	switch v.kind {
+	case KindItem:
+		fields := make([]Field, len(v.fields))
+		for i, f := range v.fields {
+			fields[i] = Field{Name: f.Name, Value: f.Value.Clone()}
+		}
+		return Value{kind: KindItem, fields: fields}
+	case KindBag, KindSet:
+		elems := make([]Value, len(v.elems))
+		for i, e := range v.elems {
+			elems[i] = e.Clone()
+		}
+		return Value{kind: v.kind, elems: elems}
+	default:
+		return v
+	}
+}
+
+// Equal reports deep structural equality. Items are equal when they have the
+// same attributes with equal values in the same order; collections when they
+// have equal elements in the same order.
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull, KindInvalid:
+		return true
+	case KindInt:
+		return a.i == b.i
+	case KindDouble:
+		return a.f == b.f || (math.IsNaN(a.f) && math.IsNaN(b.f))
+	case KindString:
+		return a.s == b.s
+	case KindBool:
+		return a.b == b.b
+	case KindItem:
+		if len(a.fields) != len(b.fields) {
+			return false
+		}
+		for i := range a.fields {
+			if a.fields[i].Name != b.fields[i].Name || !Equal(a.fields[i].Value, b.fields[i].Value) {
+				return false
+			}
+		}
+		return true
+	case KindBag, KindSet:
+		if len(a.elems) != len(b.elems) {
+			return false
+		}
+		for i := range a.elems {
+			if !Equal(a.elems[i], b.elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders values totally: first by kind, then by content. It is used
+// for deterministic sorting of groups and set canonicalisation.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull, KindInvalid:
+		return 0
+	case KindInt:
+		return cmpInt64(a.i, b.i)
+	case KindDouble:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		}
+		return 0
+	case KindItem:
+		for i := 0; i < len(a.fields) && i < len(b.fields); i++ {
+			if c := strings.Compare(a.fields[i].Name, b.fields[i].Name); c != 0 {
+				return c
+			}
+			if c := Compare(a.fields[i].Value, b.fields[i].Value); c != 0 {
+				return c
+			}
+		}
+		return cmpInt64(int64(len(a.fields)), int64(len(b.fields)))
+	case KindBag, KindSet:
+		for i := 0; i < len(a.elems) && i < len(b.elems); i++ {
+			if c := Compare(a.elems[i], b.elems[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt64(int64(len(a.elems)), int64(len(b.elems)))
+	}
+	return 0
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// SortElems returns a copy of the collection with elements sorted by Compare.
+// Non-collections are returned unchanged.
+func (v Value) SortElems() Value {
+	if !v.kind.IsCollection() {
+		return v
+	}
+	elems := make([]Value, len(v.elems))
+	copy(elems, v.elems)
+	sort.Slice(elems, func(i, j int) bool { return Compare(elems[i], elems[j]) < 0 })
+	return Value{kind: v.kind, elems: elems}
+}
+
+// String renders the value in a compact JSON-like syntax with items as
+// {a: v, ...} and collections as [v, ...].
+func (v Value) String() string {
+	var sb strings.Builder
+	v.writeString(&sb)
+	return sb.String()
+}
+
+func (v Value) writeString(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull, KindInvalid:
+		sb.WriteString("null")
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case KindDouble:
+		sb.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.s))
+	case KindBool:
+		sb.WriteString(strconv.FormatBool(v.b))
+	case KindItem:
+		sb.WriteByte('{')
+		for i, f := range v.fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.Name)
+			sb.WriteString(": ")
+			f.Value.writeString(sb)
+		}
+		sb.WriteByte('}')
+	case KindBag, KindSet:
+		sb.WriteByte('[')
+		for i, e := range v.elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			e.writeString(sb)
+		}
+		sb.WriteByte(']')
+	}
+}

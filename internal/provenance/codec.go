@@ -1,0 +1,364 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pebble/internal/engine"
+	"pebble/internal/path"
+)
+
+// The on-disk format of a captured run: a small versioned binary layout so
+// provenance captured during pipeline execution can be stored next to the
+// result data and queried much later (the capture and query phases of the
+// paper are days apart in practice — auditing queries run when a breach is
+// investigated).
+//
+//	magic "PBLP" | u16 version | u32 #ops | ops...
+//
+// Everything is little-endian; strings and slices are length-prefixed.
+const (
+	codecMagic   = "PBLP"
+	codecVersion = 1
+)
+
+// WriteTo serialises the run.
+func (r *Run) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if err := r.encode(cw); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (r *Run) encode(w io.Writer) error {
+	e := &encoder{w: w}
+	e.bytes([]byte(codecMagic))
+	e.u16(codecVersion)
+	e.u32(uint32(len(r.order)))
+	for _, oid := range r.order {
+		op := r.ops[oid]
+		e.u32(uint32(op.OID))
+		e.str(string(op.Type))
+		e.bool(op.ManipUndefined)
+		e.u32(uint32(len(op.Inputs)))
+		for _, in := range op.Inputs {
+			e.u32(uint32(in.Pred))
+			e.str(in.SourceName)
+			e.bool(in.AccessUndefined)
+			e.u32(uint32(len(in.Accessed)))
+			for _, p := range in.Accessed {
+				e.str(p.String())
+			}
+			e.u32(uint32(len(in.Schema)))
+			for _, s := range in.Schema {
+				e.str(s)
+			}
+		}
+		e.u32(uint32(len(op.Manipulated)))
+		for _, m := range op.Manipulated {
+			e.str(m.In.String())
+			e.str(m.Out.String())
+			e.bool(m.GroupKey)
+		}
+		// Association bag, tagged by layout.
+		switch {
+		case op.SourceIDs != nil:
+			e.u8(1)
+			e.u32(uint32(len(op.SourceIDs)))
+			for _, sa := range op.SourceIDs {
+				e.i64(sa.ID)
+				e.i64(sa.OrigID)
+			}
+		case op.Unary != nil:
+			e.u8(2)
+			e.u32(uint32(len(op.Unary)))
+			for _, a := range op.Unary {
+				e.i64(a.In)
+				e.i64(a.Out)
+			}
+		case op.Binary != nil:
+			e.u8(3)
+			e.u32(uint32(len(op.Binary)))
+			for _, a := range op.Binary {
+				e.i64(a.Left)
+				e.i64(a.Right)
+				e.i64(a.Out)
+			}
+		case op.Flatten != nil:
+			e.u8(4)
+			e.u32(uint32(len(op.Flatten)))
+			for _, a := range op.Flatten {
+				e.i64(a.In)
+				e.u32(uint32(a.Pos))
+				e.i64(a.Out)
+			}
+		case op.Agg != nil:
+			e.u8(5)
+			e.u32(uint32(len(op.Agg)))
+			for _, a := range op.Agg {
+				e.i64(a.Out)
+				e.u32(uint32(len(a.Ins)))
+				for _, id := range a.Ins {
+					e.i64(id)
+				}
+			}
+		default:
+			e.u8(0)
+		}
+	}
+	return e.err
+}
+
+// ReadRun deserialises a run written by WriteTo.
+func ReadRun(r io.Reader) (*Run, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	magic := d.bytes(4)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("provenance: bad magic %q", magic)
+	}
+	if v := d.u16(); v != codecVersion {
+		return nil, fmt.Errorf("provenance: unsupported version %d", v)
+	}
+	nOps := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	run := &Run{ops: make(map[int]*Operator, capHint(nOps))}
+	for i := 0; i < nOps; i++ {
+		op := &Operator{}
+		op.OID = int(d.u32())
+		op.Type = engine.OpType(d.str())
+		op.ManipUndefined = d.bool()
+		nIn := int(d.u32())
+		for j := 0; j < nIn && d.err == nil; j++ {
+			var in engine.InputInfo
+			in.Pred = int(d.u32())
+			in.SourceName = d.str()
+			in.AccessUndefined = d.bool()
+			nAcc := int(d.u32())
+			for k := 0; k < nAcc && d.err == nil; k++ {
+				p, err := path.Parse(d.str())
+				if err != nil && d.err == nil {
+					d.err = err
+				}
+				in.Accessed = append(in.Accessed, p)
+			}
+			nSchema := int(d.u32())
+			for k := 0; k < nSchema && d.err == nil; k++ {
+				in.Schema = append(in.Schema, d.str())
+			}
+			op.Inputs = append(op.Inputs, in)
+		}
+		nManip := int(d.u32())
+		for j := 0; j < nManip && d.err == nil; j++ {
+			var m engine.Mapping
+			inStr := d.str()
+			outStr := d.str()
+			m.GroupKey = d.bool()
+			if d.err == nil {
+				var err error
+				if inStr != "" {
+					if m.In, err = path.Parse(inStr); err != nil {
+						d.err = err
+					}
+				}
+				if m.Out, err = path.Parse(outStr); err != nil && d.err == nil {
+					d.err = err
+				}
+			}
+			op.Manipulated = append(op.Manipulated, m)
+		}
+		switch tag := d.u8(); tag {
+		case 0:
+		case 1:
+			n := int(d.u32())
+			op.SourceIDs = make([]SourceAssoc, 0, capHint(n))
+			for j := 0; j < n && d.err == nil; j++ {
+				op.SourceIDs = append(op.SourceIDs, SourceAssoc{ID: d.i64(), OrigID: d.i64()})
+			}
+		case 2:
+			n := int(d.u32())
+			op.Unary = make([]UnaryAssoc, 0, capHint(n))
+			for j := 0; j < n && d.err == nil; j++ {
+				op.Unary = append(op.Unary, UnaryAssoc{In: d.i64(), Out: d.i64()})
+			}
+		case 3:
+			n := int(d.u32())
+			op.Binary = make([]BinaryAssoc, 0, capHint(n))
+			for j := 0; j < n && d.err == nil; j++ {
+				op.Binary = append(op.Binary, BinaryAssoc{Left: d.i64(), Right: d.i64(), Out: d.i64()})
+			}
+		case 4:
+			n := int(d.u32())
+			op.Flatten = make([]FlattenAssoc, 0, capHint(n))
+			for j := 0; j < n && d.err == nil; j++ {
+				op.Flatten = append(op.Flatten, FlattenAssoc{In: d.i64(), Pos: int(d.u32()), Out: d.i64()})
+			}
+		case 5:
+			n := int(d.u32())
+			op.Agg = make([]AggAssoc, 0, capHint(n))
+			for j := 0; j < n && d.err == nil; j++ {
+				a := AggAssoc{Out: d.i64()}
+				nIns := int(d.u32())
+				a.Ins = make([]int64, 0, capHint(nIns))
+				for k := 0; k < nIns && d.err == nil; k++ {
+					a.Ins = append(a.Ins, d.i64())
+				}
+				op.Agg = append(op.Agg, a)
+			}
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("provenance: unknown association tag %d", tag)
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		run.ops[op.OID] = op
+		run.order = append(run.order, op.OID)
+	}
+	return run, nil
+}
+
+// capHint bounds the initial capacity of decoded slices so corrupt or
+// malicious length prefixes cannot force huge allocations; slices still grow
+// to any genuine size via append.
+func capHint(n int) int {
+	const max = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// encoder writes little-endian primitives, remembering the first error.
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *encoder) bytes(p []byte) { e.write(p) }
+func (e *encoder) u8(v uint8)     { e.write([]byte{v}) }
+
+func (e *encoder) u16(v uint16) {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	e.write(buf[:])
+}
+
+func (e *encoder) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	e.write(buf[:])
+}
+
+func (e *encoder) i64(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	e.write(buf[:])
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.write([]byte(s))
+}
+
+// decoder reads little-endian primitives, remembering the first error.
+type decoder struct {
+	r   io.Reader
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	_, d.err = io.ReadFull(d.r, buf)
+	return buf
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.bytes(2)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) i64() int64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	const maxStr = 1 << 20
+	if n > maxStr {
+		d.err = fmt.Errorf("provenance: string length %d exceeds limit", n)
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}

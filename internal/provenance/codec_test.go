@@ -1,0 +1,166 @@
+package provenance_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/core"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	_, run := captureExample(t, 3)
+	var buf bytes.Buffer
+	n, err := run.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := provenance.ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origOps := run.Operators()
+	backOps := back.Operators()
+	if len(origOps) != len(backOps) {
+		t.Fatalf("op count %d vs %d", len(origOps), len(backOps))
+	}
+	for i := range origOps {
+		o, b := origOps[i], backOps[i]
+		if o.OID != b.OID || o.Type != b.Type || o.ManipUndefined != b.ManipUndefined {
+			t.Errorf("op %d header mismatch: %+v vs %+v", o.OID, o, b)
+		}
+		if len(o.Inputs) != len(b.Inputs) {
+			t.Fatalf("op %d inputs %d vs %d", o.OID, len(o.Inputs), len(b.Inputs))
+		}
+		for j := range o.Inputs {
+			oi, bi := o.Inputs[j], b.Inputs[j]
+			if oi.Pred != bi.Pred || oi.SourceName != bi.SourceName || oi.AccessUndefined != bi.AccessUndefined {
+				t.Errorf("op %d input %d mismatch", o.OID, j)
+			}
+			if len(oi.Accessed) != len(bi.Accessed) {
+				t.Fatalf("op %d accessed %d vs %d", o.OID, len(oi.Accessed), len(bi.Accessed))
+			}
+			for k := range oi.Accessed {
+				if oi.Accessed[k].String() != bi.Accessed[k].String() {
+					t.Errorf("op %d accessed[%d] %s vs %s", o.OID, k, oi.Accessed[k], bi.Accessed[k])
+				}
+			}
+			if !reflect.DeepEqual(oi.Schema, bi.Schema) {
+				t.Errorf("op %d schema %v vs %v", o.OID, oi.Schema, bi.Schema)
+			}
+		}
+		if len(o.Manipulated) != len(b.Manipulated) {
+			t.Fatalf("op %d manipulated %d vs %d", o.OID, len(o.Manipulated), len(b.Manipulated))
+		}
+		for j := range o.Manipulated {
+			om, bm := o.Manipulated[j], b.Manipulated[j]
+			if om.In.String() != bm.In.String() || om.Out.String() != bm.Out.String() || om.GroupKey != bm.GroupKey {
+				t.Errorf("op %d mapping %d mismatch: %v vs %v", o.OID, j, om, bm)
+			}
+		}
+		if !reflect.DeepEqual(o.Unary, b.Unary) || !reflect.DeepEqual(o.Binary, b.Binary) ||
+			!reflect.DeepEqual(o.Flatten, b.Flatten) || !reflect.DeepEqual(o.Agg, b.Agg) ||
+			!reflect.DeepEqual(o.SourceIDs, b.SourceIDs) {
+			t.Errorf("op %d associations mismatch", o.OID)
+		}
+	}
+}
+
+// TestQueryAfterReload: a query over a deserialised run gives the same
+// answer as over the in-memory run — capture now, audit much later.
+func TestQueryAfterReload(t *testing.T) {
+	res, run := captureExample(t, 2)
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := provenance.ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := backtrace.NewStructure()
+	for _, row := range res.Output.Rows() {
+		b.Add(row.ID, core.TreeFromValue(row.Value))
+	}
+	t1, err := backtrace.Trace(run, 9, b.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := backtrace.Trace(reloaded, 9, b.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := range t1.BySource {
+		a, bIDs := t1.Structure(oid).IDs(), t2.Structure(oid).IDs()
+		if !reflect.DeepEqual(a, bIDs) {
+			t.Errorf("source %d ids differ after reload: %v vs %v", oid, a, bIDs)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("PB"),
+		[]byte("XXXX\x01\x00\x00\x00\x00\x00"),
+		[]byte("PBLP\x63\x00\x00\x00\x00\x00"), // bad version
+	}
+	for i, data := range cases {
+		if _, err := provenance.ReadRun(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid stream.
+	_, run := captureExample(t, 1)
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := provenance.ReadRun(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestCodecHandlesMapAndJoin(t *testing.T) {
+	// A pipeline covering map (A=M=⊥) and join (schemas) round-trips too.
+	p := engine.NewPipeline()
+	l := p.Source("in")
+	m := p.Map(l, engine.MapFunc{Name: "wrap", Fn: func(v nested.Value) (nested.Value, error) {
+		return v, nil
+	}})
+	sel := p.Select(m, engine.Column("a1", "text"))
+	r := p.Source("in")
+	sel2 := p.Select(r, engine.Column("a2", "text"))
+	p.Join(sel, sel2, engine.Col("a1"), engine.Col("a2"))
+	inputs := workload.ExampleInput(2)
+	inputs["in"] = inputs["tweets.json"]
+	_, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := provenance.ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, _ := back.Op(m.ID())
+	if !mo.ManipUndefined || !mo.Inputs[0].AccessUndefined {
+		t.Error("map ⊥ flags lost in round trip")
+	}
+	jo, _ := back.Op(p.Sink().ID())
+	if len(jo.Inputs[0].Schema) == 0 || len(jo.Inputs[1].Schema) == 0 {
+		t.Error("join schemas lost in round trip")
+	}
+}

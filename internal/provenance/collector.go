@@ -1,0 +1,120 @@
+package provenance
+
+import (
+	"sync"
+
+	"pebble/internal/engine"
+)
+
+// Collector implements engine.CaptureSink and assembles a Run. Per-row events
+// append to per-partition shards without locking (each partition is owned by
+// one goroutine during execution); StartOperator takes the collector lock.
+type Collector struct {
+	mu    sync.Mutex
+	ops   map[int]*opShards
+	order []int
+}
+
+type opShards struct {
+	info   engine.OpInfo
+	shards []shard
+}
+
+type shard struct {
+	unary   []UnaryAssoc
+	binary  []BinaryAssoc
+	flatten []FlattenAssoc
+	agg     []AggAssoc
+	source  []SourceAssoc
+}
+
+// NewCollector returns an empty collector ready to be passed as
+// engine.Options.Sink.
+func NewCollector() *Collector {
+	return &Collector{ops: make(map[int]*opShards)}
+}
+
+// StartOperator implements engine.CaptureSink.
+func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if partitions < 1 {
+		partitions = 1
+	}
+	c.ops[info.OID] = &opShards{info: info, shards: make([]shard, partitions)}
+	c.order = append(c.order, info.OID)
+}
+
+// SourceRow implements engine.CaptureSink.
+func (c *Collector) SourceRow(oid, part int, id, origID int64) {
+	s := &c.ops[oid].shards[part]
+	s.source = append(s.source, SourceAssoc{ID: id, OrigID: origID})
+}
+
+// Unary implements engine.CaptureSink.
+func (c *Collector) Unary(oid, part int, inID, outID int64) {
+	s := &c.ops[oid].shards[part]
+	s.unary = append(s.unary, UnaryAssoc{In: inID, Out: outID})
+}
+
+// Binary implements engine.CaptureSink.
+func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
+	s := &c.ops[oid].shards[part]
+	s.binary = append(s.binary, BinaryAssoc{Left: leftID, Right: rightID, Out: outID})
+}
+
+// FlattenAssoc implements engine.CaptureSink.
+func (c *Collector) FlattenAssoc(oid, part int, inID int64, pos int, outID int64) {
+	s := &c.ops[oid].shards[part]
+	s.flatten = append(s.flatten, FlattenAssoc{In: inID, Pos: pos, Out: outID})
+}
+
+// AggAssoc implements engine.CaptureSink.
+func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
+	s := &c.ops[oid].shards[part]
+	ids := make([]int64, len(inIDs))
+	copy(ids, inIDs)
+	s.agg = append(s.agg, AggAssoc{Ins: ids, Out: outID})
+}
+
+// Finish merges the shards into an immutable Run. The collector can be
+// reused afterwards for a fresh capture.
+func (c *Collector) Finish() *Run {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run := &Run{ops: make(map[int]*Operator, len(c.ops))}
+	for _, oid := range c.order {
+		os := c.ops[oid]
+		op := &Operator{
+			OID:            os.info.OID,
+			Type:           os.info.Type,
+			Inputs:         os.info.Inputs,
+			Manipulated:    os.info.Manipulated,
+			ManipUndefined: os.info.ManipUndefined,
+		}
+		for _, sh := range os.shards {
+			op.Unary = append(op.Unary, sh.unary...)
+			op.Binary = append(op.Binary, sh.binary...)
+			op.Flatten = append(op.Flatten, sh.flatten...)
+			op.Agg = append(op.Agg, sh.agg...)
+			op.SourceIDs = append(op.SourceIDs, sh.source...)
+		}
+		run.ops[oid] = op
+		run.order = append(run.order, oid)
+	}
+	c.ops = make(map[int]*opShards)
+	c.order = nil
+	return run
+}
+
+// Capture is a convenience wrapper: it runs the pipeline with a fresh
+// collector and returns both the execution result and the captured run.
+func Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset, opts engine.Options) (*engine.Result, *Run, error) {
+	c := NewCollector()
+	opts.Sink = c
+	res, err := engine.Run(p, inputs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, c.Finish(), nil
+}

@@ -1,0 +1,38 @@
+package provenance_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// FuzzReadRun throws arbitrary bytes at the provenance decoder: it must
+// never panic or over-allocate, and any accepted run must re-encode.
+func FuzzReadRun(f *testing.F) {
+	// Seed with a genuine stream.
+	_, run, err := provenance.Capture(workload.ExamplePipeline(), workload.ExampleInput(1),
+		engine.Options{Partitions: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PBLP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := provenance.ReadRun(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := r.WriteTo(&out); err != nil {
+			t.Fatalf("accepted run failed to encode: %v", err)
+		}
+	})
+}

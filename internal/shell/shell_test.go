@@ -1,0 +1,132 @@
+package shell_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pebble/internal/core"
+	"pebble/internal/shell"
+	"pebble/internal/workload"
+)
+
+func newShell(t *testing.T) (*shell.Shell, *bytes.Buffer, *core.Captured) {
+	t.Helper()
+	session := core.Session{Partitions: 2}
+	cap, err := session.Capture(workload.ExamplePipeline(), workload.ExampleInput(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	return shell.New(cap, &out), &out, cap
+}
+
+func TestShellPatternQuery(t *testing.T) {
+	sh, out, _ := newShell(t)
+	if err := sh.Exec(`//id_str == "lp", tweets(text == "Hello World" #[2,2])`); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"matched 1 result item", "Hello World", "retweet_cnt (influencing)", "cells contributing from source 1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestShellCommands(t *testing.T) {
+	sh, out, cap := newShell(t)
+	for _, cmd := range []string{"help", "plan", "result 2", "provenance"} {
+		out.Reset()
+		if err := sh.Exec(cmd); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", cmd)
+		}
+	}
+	out.Reset()
+	if err := sh.Exec("plan"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "9:aggregate") {
+		t.Errorf("plan output wrong:\n%s", out)
+	}
+	// result truncation
+	out.Reset()
+	if err := sh.Exec("result 1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "more rows") {
+		t.Errorf("result truncation missing:\n%s", out)
+	}
+	// impact
+	srcRow := cap.Result.Sources[1].Rows()[1] // a Hello World tweet or similar
+	out.Reset()
+	if err := sh.Exec(strings.Join([]string{"impact", "1", strconv.FormatInt(srcRow.ID, 10)}, " ")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "affects") {
+		t.Errorf("impact output wrong:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _, _ := newShell(t)
+	if err := sh.Exec("== broken pattern"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if err := sh.Exec("impact nope"); err == nil {
+		t.Error("bad impact args accepted")
+	}
+	if err := sh.Exec("impact a b"); err == nil {
+		t.Error("non-numeric impact args accepted")
+	}
+	if err := sh.Exec("result -3"); err == nil {
+		t.Error("negative result count accepted")
+	}
+}
+
+func TestShellRunLoop(t *testing.T) {
+	sh, out, _ := newShell(t)
+	in := strings.NewReader("help\nresult 1\n//id_str == \"lp\"\nquit\nresult 1\n")
+	if err := sh.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "commands:") || !strings.Contains(got, "matched") {
+		t.Errorf("run loop output wrong:\n%s", got)
+	}
+	// The line after quit must not execute.
+	if strings.Count(got, "more rows") != 1 {
+		t.Errorf("commands after quit executed:\n%s", got)
+	}
+}
+
+func TestShellSchema(t *testing.T) {
+	sh, out, _ := newShell(t)
+	if err := sh.Exec("schema"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "tweets:{{<text:string>}}") {
+		t.Errorf("schema output missing aggregate type:\n%s", got)
+	}
+}
+
+func TestShellJSON(t *testing.T) {
+	sh, out, _ := newShell(t)
+	if err := sh.Exec(`json //id_str == "lp", tweets(text == "Hello World" #[2,2])`); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{`"matched": 1`, `"contributing": true`, `"tweets.json"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("json output missing %q:\n%s", want, got)
+		}
+	}
+	if err := sh.Exec("json"); err == nil {
+		t.Error("bare json accepted")
+	}
+}

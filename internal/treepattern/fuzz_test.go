@@ -1,0 +1,36 @@
+package treepattern_test
+
+import (
+	"testing"
+
+	"pebble/internal/nested"
+	"pebble/internal/treepattern"
+)
+
+// FuzzParse feeds arbitrary strings to the pattern parser: it must never
+// panic, and on success the pattern must render and match without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`//id_str == "lp", tweets(text == "Hello World" #[2,2])`,
+		`a(b(c == 1), d ~= "x")`,
+		`a > 1.5, b < -3`,
+		`a == true, b == null`,
+		`a #[1,0]`,
+		`//deep`,
+		`a == "esc \" \n \t"`,
+	} {
+		f.Add(seed)
+	}
+	item := nested.Item(
+		nested.F("a", nested.Int(1)),
+		nested.F("b", nested.Bag(nested.Item(nested.F("c", nested.StringVal("x"))))),
+	)
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := treepattern.Parse(input)
+		if err != nil {
+			return
+		}
+		_ = p.String()
+		_, _ = p.MatchItem(item)
+	})
+}

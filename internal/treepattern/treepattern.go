@@ -1,0 +1,294 @@
+// Package treepattern implements the tree-pattern provenance queries of
+// Sec. 6.1: structural queries over nested result data in which nodes
+// reference attributes, edges are parent-child or ancestor-descendant
+// relationships, and nodes may carry value-equality and occurrence-count
+// constraints (Fig. 4). Matching a pattern against a dataset identifies the
+// data items for which provenance is requested and returns them as a
+// backtracing structure (Def. 6.2) ready for the backtracing algorithm.
+package treepattern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/path"
+)
+
+// Edge is the relationship between a pattern node and its parent.
+type Edge uint8
+
+// Edge kinds: parent-child or ancestor-descendant.
+const (
+	ChildEdge Edge = iota
+	DescendantEdge
+)
+
+// Node is one tree-pattern node: it matches attributes with the given name
+// reachable via its edge type, optionally constrained to a constant value
+// and an occurrence count within the nearest enclosing collection.
+type Node struct {
+	Attr     string
+	Edge     Edge
+	Eq       *nested.Value
+	Contains string        // substring constraint on string values ("" = none)
+	Lt, Gt   *nested.Value // open range bounds on the total value order
+	MinCount int           // 0 = no lower bound beyond "matches at least once"
+	MaxCount int           // 0 = no upper bound
+	Children []*Node
+}
+
+// Child returns a parent-child pattern node.
+func Child(attr string, children ...*Node) *Node {
+	return &Node{Attr: attr, Edge: ChildEdge, Children: children}
+}
+
+// Desc returns an ancestor-descendant pattern node.
+func Desc(attr string, children ...*Node) *Node {
+	return &Node{Attr: attr, Edge: DescendantEdge, Children: children}
+}
+
+// WithEq constrains the node's value to equal v.
+func (n *Node) WithEq(v nested.Value) *Node {
+	n.Eq = &v
+	return n
+}
+
+// WithContains constrains the node's string value to contain the substring.
+func (n *Node) WithContains(s string) *Node {
+	n.Contains = s
+	return n
+}
+
+// WithLt constrains the node's value to be strictly less than v (numeric
+// comparisons widen int/double).
+func (n *Node) WithLt(v nested.Value) *Node {
+	n.Lt = &v
+	return n
+}
+
+// WithGt constrains the node's value to be strictly greater than v.
+func (n *Node) WithGt(v nested.Value) *Node {
+	n.Gt = &v
+	return n
+}
+
+// WithCount constrains how often the node may match within the nearest
+// enclosing collection: [min, max] occurrences, max 0 meaning unbounded.
+func (n *Node) WithCount(min, max int) *Node {
+	n.MinCount, n.MaxCount = min, max
+	return n
+}
+
+// Pattern is a tree pattern whose implicit root is the top-level data item.
+type Pattern struct {
+	Children []*Node
+}
+
+// New returns a pattern with the given root children.
+func New(children ...*Node) *Pattern {
+	return &Pattern{Children: children}
+}
+
+// String renders the pattern for diagnostics.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	sb.WriteString("root")
+	var render func(n *Node, depth int)
+	render = func(n *Node, depth int) {
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("  ", depth))
+		if n.Edge == DescendantEdge {
+			sb.WriteString("//")
+		}
+		sb.WriteString(n.Attr)
+		if n.Eq != nil {
+			fmt.Fprintf(&sb, " == %s", *n.Eq)
+		}
+		if n.Contains != "" {
+			fmt.Fprintf(&sb, " contains %q", n.Contains)
+		}
+		if n.Lt != nil {
+			fmt.Fprintf(&sb, " < %s", *n.Lt)
+		}
+		if n.Gt != nil {
+			fmt.Fprintf(&sb, " > %s", *n.Gt)
+		}
+		if n.MinCount > 0 || n.MaxCount > 0 {
+			fmt.Fprintf(&sb, " [%d,%d]", n.MinCount, n.MaxCount)
+		}
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	for _, c := range p.Children {
+		render(c, 1)
+	}
+	return sb.String()
+}
+
+// binding is one concrete match of a pattern node: the path where it matched
+// plus the bindings of its pattern children.
+type binding struct {
+	path     path.Path
+	children []binding
+}
+
+// MatchItem matches the pattern against one data item and returns the
+// backtracing tree of matched paths, or ok == false when the item does not
+// satisfy the pattern.
+func (p *Pattern) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
+	var all []binding
+	for _, c := range p.Children {
+		bs := matchNode(c, d, nil)
+		if bs == nil {
+			return nil, false
+		}
+		all = append(all, bs...)
+	}
+	t := backtrace.NewTree()
+	var addBindings func(bs []binding)
+	addBindings = func(bs []binding) {
+		for _, b := range bs {
+			t.EnsureContributing(b.path)
+			addBindings(b.children)
+		}
+	}
+	addBindings(all)
+	return t, true
+}
+
+// Match matches the pattern against every row of the dataset in parallel
+// (one goroutine per partition) and returns the backtracing structure over
+// the matching rows — the distributed tree-pattern matching step that feeds
+// Alg. 1.
+func (p *Pattern) Match(d *engine.Dataset) *backtrace.Structure {
+	partResults := make([][]*backtrace.Item, len(d.Partitions))
+	var wg sync.WaitGroup
+	for pi := range d.Partitions {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			var items []*backtrace.Item
+			for _, row := range d.Partitions[pi] {
+				if tree, ok := p.MatchItem(row.Value); ok {
+					items = append(items, &backtrace.Item{ID: row.ID, Tree: tree})
+				}
+			}
+			partResults[pi] = items
+		}(pi)
+	}
+	wg.Wait()
+	out := backtrace.NewStructure()
+	for _, items := range partResults {
+		out.Items = append(out.Items, items...)
+	}
+	return out
+}
+
+// matchNode returns all bindings of pattern node n within context value ctx
+// (addressed by prefix), or nil when the node does not match (including
+// count-constraint violations).
+func matchNode(n *Node, ctx nested.Value, prefix path.Path) []binding {
+	locs := locate(n, ctx, prefix)
+	var out []binding
+	for _, loc := range locs {
+		b, ok := bindAt(n, loc.val, loc.p)
+		if ok {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if n.MinCount > 0 && len(out) < n.MinCount {
+		return nil
+	}
+	if n.MaxCount > 0 && len(out) > n.MaxCount {
+		return nil
+	}
+	return out
+}
+
+// bindAt checks the node's value conditions and child patterns at one
+// location.
+func bindAt(n *Node, val nested.Value, p path.Path) (binding, bool) {
+	if n.Eq != nil && !nested.Equal(val, *n.Eq) {
+		return binding{}, false
+	}
+	if n.Contains != "" {
+		s, ok := val.AsString()
+		if !ok || !strings.Contains(s, n.Contains) {
+			return binding{}, false
+		}
+	}
+	if n.Lt != nil && !(compareWidened(val, *n.Lt) < 0) {
+		return binding{}, false
+	}
+	if n.Gt != nil && !(compareWidened(val, *n.Gt) > 0) {
+		return binding{}, false
+	}
+	b := binding{path: p}
+	for _, c := range n.Children {
+		cb := matchNode(c, val, p)
+		if cb == nil {
+			return binding{}, false
+		}
+		b.children = append(b.children, cb...)
+	}
+	return b, true
+}
+
+type location struct {
+	val nested.Value
+	p   path.Path
+}
+
+// locate finds the attribute occurrences the node's edge can reach from ctx:
+// direct attributes (fanning through collection elements) for child edges,
+// any depth for descendant edges.
+func locate(n *Node, ctx nested.Value, prefix path.Path) []location {
+	var out []location
+	switch ctx.Kind() {
+	case nested.KindItem:
+		for _, f := range ctx.Fields() {
+			p := prefix.Append(path.Step{Attr: f.Name, Index: path.NoIndex})
+			if f.Name == n.Attr {
+				out = append(out, location{val: f.Value, p: p})
+				if n.Edge == ChildEdge {
+					continue
+				}
+			}
+			if n.Edge == DescendantEdge {
+				out = append(out, locate(n, f.Value, p)...)
+			}
+		}
+	case nested.KindBag, nested.KindSet:
+		for i, e := range ctx.Elems() {
+			p := prefix.Append(path.Step{Index: i + 1})
+			out = append(out, locate(n, e, p)...)
+		}
+	}
+	return out
+}
+
+// compareWidened compares two values, widening int/double pairs.
+func compareWidened(a, b nested.Value) int {
+	if a.Kind() != b.Kind() {
+		af, aok := a.AsDouble()
+		bf, bok := b.AsDouble()
+		if aok && bok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+	}
+	return nested.Compare(a, b)
+}

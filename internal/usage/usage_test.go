@@ -1,0 +1,193 @@
+package usage_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pebble/internal/core"
+	"pebble/internal/usage"
+	"pebble/internal/workload"
+)
+
+// inproceedingsSchema is the top-level schema of DBLP inproceedings records.
+var inproceedingsSchema = []string{
+	"key", "record_type", "title", "authors", "year", "crossref", "pages", "ee",
+}
+
+var (
+	analyzeOnce     sync.Once
+	cachedAnalysis  *usage.Analysis
+	cachedUniverse  []int64
+	analyzeFailures string
+)
+
+// analyzeD reproduces the Fig. 10 setup in miniature: run D1–D5 over the
+// same DBLP input, query the full results, and merge the provenance. The
+// result is computed once and shared across tests (full-result tracing is
+// the most expensive operation in the suite).
+func analyzeD(t *testing.T) (*usage.Analysis, []int64) {
+	t.Helper()
+	analyzeOnce.Do(func() {
+		scale := workload.Scale{SimGB: 1, RecordsPerGB: 400, Seed: 42}
+		session := core.Session{Partitions: 4}
+		analysis := usage.NewAnalysis()
+		for _, sc := range workload.DBLPScenarios() {
+			cap, err := session.Capture(sc.Build(), sc.Input(scale, 4))
+			if err != nil {
+				analyzeFailures = sc.Name + ": " + err.Error()
+				return
+			}
+			q, err := cap.QueryAll()
+			if err != nil {
+				analyzeFailures = sc.Name + ": " + err.Error()
+				return
+			}
+			analysis.AddQuery(q, cap.Provenance)
+		}
+		// Universe: the raw-input ids of the inproceedings records (Fig. 10
+		// analyses the DBLP inproceedings dataset).
+		inputs := workload.DBLPInput(scale, 1)
+		for _, r := range inputs["dblp.json"].Rows() {
+			rt, _ := r.Value.Get("record_type")
+			if s, _ := rt.AsString(); s == "inproceedings" {
+				cachedUniverse = append(cachedUniverse, r.ID)
+			}
+		}
+		cachedAnalysis = analysis
+	})
+	if analyzeFailures != "" {
+		t.Fatal(analyzeFailures)
+	}
+	return cachedAnalysis, cachedUniverse
+}
+
+func TestUsagePatternsMatchPaperNarrative(t *testing.T) {
+	analysis, universe := analyzeD(t)
+	if analysis.Queries != 5 {
+		t.Fatalf("merged %d queries, want 5", analysis.Queries)
+	}
+	rep := analysis.Audit(universe, inproceedingsSchema)
+	// Most inproceedings contribute to at least one of D1–D5 (D4 nests every
+	// inproceedings under its proceedings).
+	if len(rep.LeakedItems) < len(universe)/2 {
+		t.Errorf("leaked items = %d of %d, expected the majority", len(rep.LeakedItems), len(universe))
+	}
+	leaked := strings.Join(rep.LeakedAttrs, ",")
+	for _, want := range []string{"key", "title"} {
+		if !strings.Contains(leaked, want) {
+			t.Errorf("attribute %s should be leaked, got %v", want, rep.LeakedAttrs)
+		}
+	}
+	// year is the paper's reconstruction-attack example: accessed by the D1
+	// and D3 filters but never part of a result built from inproceedings.
+	foundYear := false
+	for _, a := range rep.InfluencingAttrs {
+		if a == "year" {
+			foundYear = true
+		}
+	}
+	if !foundYear {
+		t.Errorf("year should be influencing-only, got influencing=%v leaked=%v",
+			rep.InfluencingAttrs, rep.LeakedAttrs)
+	}
+	// pages and ee are never touched by D1–D5: cold attributes.
+	cold := strings.Join(rep.ColdAttrs, ",")
+	for _, want := range []string{"pages", "ee"} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("attribute %s should be cold, got %v", want, rep.ColdAttrs)
+		}
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	analysis, universe := analyzeD(t)
+	items := usage.SampleItems(universe, 25, 42)
+	if len(items) != 25 {
+		t.Fatalf("sampled %d items, want 25", len(items))
+	}
+	// Deterministic sampling.
+	again := usage.SampleItems(universe, 25, 42)
+	for i := range items {
+		if items[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	hm := analysis.Heatmap(items, inproceedingsSchema)
+	lines := strings.Split(strings.TrimSpace(hm), "\n")
+	if len(lines) != 26 { // header + 25 rows
+		t.Fatalf("heatmap rows = %d, want 26:\n%s", len(lines), hm)
+	}
+	if !strings.Contains(lines[0], "tuple") || !strings.Contains(lines[0], "year") {
+		t.Errorf("heatmap header wrong: %s", lines[0])
+	}
+	// Cold cells render as dots (pages/ee columns).
+	if !strings.Contains(hm, ".") {
+		t.Error("expected cold cells in heatmap")
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	analysis, _ := analyzeD(t)
+	pairs := analysis.TopPairs(3)
+	if len(pairs) == 0 {
+		t.Fatal("no attribute pairs recorded")
+	}
+	// key and title are selected together by D1, D4, D5.
+	if !strings.Contains(strings.Join(pairs, ";"), "key+title") {
+		t.Errorf("key+title should be a frequent pair, got %v", pairs)
+	}
+}
+
+func TestAnalysisCountsInfluenceOnlyItems(t *testing.T) {
+	// An analysis where an item only ever influences results must classify
+	// it as influenced, not leaked.
+	a := usage.NewAnalysis()
+	if a.Queries != 0 {
+		t.Fatal("fresh analysis not empty")
+	}
+	rep := a.Audit([]int64{1, 2}, []string{"x"})
+	if len(rep.ColdItems) != 2 || len(rep.ColdAttrs) != 1 {
+		t.Errorf("empty analysis audit wrong: %+v", rep)
+	}
+}
+
+func TestSuggestColumnGroups(t *testing.T) {
+	analysis, universe := analyzeD(t)
+	groups := analysis.SuggestColumnGroups(universe, inproceedingsSchema)
+	if len(groups) < 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// key and title co-occur most often: same hot group.
+	var keyGroup, titleGroup, coldGroup int = -1, -1, -1
+	for i, g := range groups {
+		for _, a := range g.Attrs {
+			switch a {
+			case "key":
+				keyGroup = i
+			case "title":
+				titleGroup = i
+			case "pages":
+				coldGroup = i
+			}
+		}
+	}
+	if keyGroup != titleGroup || keyGroup < 0 {
+		t.Errorf("key and title should share a group: %v", groups)
+	}
+	if coldGroup < 0 || groups[coldGroup].Hot {
+		t.Errorf("pages should be in the cold group: %v", groups)
+	}
+	// Every schema attribute lands in exactly one group.
+	seen := map[string]int{}
+	for _, g := range groups {
+		for _, a := range g.Attrs {
+			seen[a]++
+		}
+	}
+	for _, a := range inproceedingsSchema {
+		if seen[a] != 1 {
+			t.Errorf("attribute %s appears %d times across groups", a, seen[a])
+		}
+	}
+}

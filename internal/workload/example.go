@@ -1,0 +1,99 @@
+// Package workload provides the datasets and processing pipelines of the
+// paper's evaluation (Sec. 7.2): the running example of Sec. 2, deterministic
+// synthetic generators for the nested Twitter and DBLP datasets, and the ten
+// test scenarios T1–T5 and D1–D5 of Tab. 7, each paired with the structural
+// provenance query its description implies.
+package workload
+
+import (
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+)
+
+// Tweet builds one Tab. 1 style tweet item. Mentions are (id_str, name)
+// pairs.
+func Tweet(text, userID, userName string, retweetCnt int64, mentions ...[2]string) nested.Value {
+	ms := make([]nested.Value, len(mentions))
+	for i, m := range mentions {
+		ms[i] = nested.Item(
+			nested.F("id_str", nested.StringVal(m[0])),
+			nested.F("name", nested.StringVal(m[1])),
+		)
+	}
+	return nested.Item(
+		nested.F("text", nested.StringVal(text)),
+		nested.F("user", nested.Item(
+			nested.F("id_str", nested.StringVal(userID)),
+			nested.F("name", nested.StringVal(userName)),
+		)),
+		nested.F("user_mentions", nested.Bag(ms...)),
+		nested.F("retweet_cnt", nested.Int(retweetCnt)),
+	)
+}
+
+// ExampleTweets returns the five input tweets of Tab. 1, in order. Their
+// row indices 0..4 correspond to the paper's annotations p1, p12, p17, p22,
+// p29.
+func ExampleTweets() []nested.Value {
+	return []nested.Value{
+		Tweet("Hello @ls @jm @ls", "lp", "Lisa Paul", 0,
+			[2]string{"ls", "Lauren Smith"},
+			[2]string{"jm", "John Miller"},
+			[2]string{"ls", "Lauren Smith"}),
+		Tweet("Hello World", "lp", "Lisa Paul", 0),
+		Tweet("Hello World", "lp", "Lisa Paul", 0),
+		Tweet("This is me @jm", "jm", "John Miller", 0,
+			[2]string{"jm", "John Miller"}),
+		Tweet("Hello @lp", "jm", "John Miller", 1,
+			[2]string{"lp", "Lisa Paul"}),
+	}
+}
+
+// ExamplePipeline builds the processing pipeline of Fig. 1 over the input
+// dataset named "tweets.json". Operator identifiers match the figure:
+//
+//	1 read   2 filter   3 select       (upper branch: authoring users)
+//	4 read   5 flatten  6 select       (lower branch: mentioned users)
+//	7 union  8 select   9 aggregate
+func ExamplePipeline() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read1 := p.Source("tweets.json")                                                // 1
+	filt := p.Filter(read1, engine.Eq(engine.Col("retweet_cnt"), engine.LitInt(0))) // 2
+	sel1 := p.Select(filt,                                                          // 3
+		engine.Column("text", "text"),
+		engine.Column("id_str", "user.id_str"),
+		engine.Column("name", "user.name"),
+	)
+	read2 := p.Source("tweets.json")                    // 4
+	flat := p.Flatten(read2, "user_mentions", "m_user") // 5
+	sel2 := p.Select(flat,                              // 6
+		engine.Column("text", "text"),
+		engine.Column("id_str", "m_user.id_str"),
+		engine.Column("name", "m_user.name"),
+	)
+	uni := p.Union(sel1, sel2) // 7
+	sel3 := p.Select(uni,      // 8
+		// text → tweet as a one-attribute item so the nested result keeps the
+		// text attribute (Tab. 2 shows items ⟨text⟩; Fig. 2's tree addresses
+		// tweets.2.text).
+		engine.StructField("tweet", engine.Column("text", "text")),
+		engine.StructField("user",
+			engine.Column("id_str", "id_str"),
+			engine.Column("name", "name"),
+		),
+	)
+	p.Aggregate(sel3, // 9
+		[]engine.GroupKey{engine.Key("user")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectList, "tweet", "tweets")},
+	)
+	return p
+}
+
+// ExampleInput wraps the Tab. 1 tweets as the input map ExamplePipeline
+// expects.
+func ExampleInput(parts int) map[string]*engine.Dataset {
+	gen := engine.NewIDGen(1)
+	return map[string]*engine.Dataset{
+		"tweets.json": engine.NewDataset("tweets.json", ExampleTweets(), parts, gen),
+	}
+}

@@ -1,0 +1,394 @@
+package workload
+
+import (
+	"fmt"
+
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/treepattern"
+)
+
+// Scenario is one evaluation scenario of Tab. 7: a Spark-style program to be
+// executed with and without provenance capture, plus the corresponding
+// structural provenance query (Sec. 7.2). Each supported operator occurs in
+// at least one scenario.
+type Scenario struct {
+	// Name is the paper's scenario identifier, T1–T5 or D1–D5.
+	Name string
+	// Description is the informal description from Tab. 7.
+	Description string
+	// Dataset is "twitter" or "dblp".
+	Dataset string
+	// Build constructs the scenario's pipeline (fresh for every run).
+	Build func() *engine.Pipeline
+	// Pattern is the scenario's tree-pattern provenance question, phrased
+	// against sentinel values the generators always produce.
+	Pattern *treepattern.Pattern
+}
+
+// Input generates the scenario's input datasets at the given scale.
+func (s Scenario) Input(scale Scale, partitions int) map[string]*engine.Dataset {
+	if s.Dataset == "twitter" {
+		return TwitterInput(scale, partitions)
+	}
+	return DBLPInput(scale, partitions)
+}
+
+// ByName returns the scenario with the given name (T1–T5, D1–D5).
+func ByName(name string) (Scenario, error) {
+	for _, s := range AllScenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}
+
+// AllScenarios returns the ten scenarios of Tab. 7.
+func AllScenarios() []Scenario {
+	return append(TwitterScenarios(), DBLPScenarios()...)
+}
+
+// TwitterScenarios returns T1–T5.
+func TwitterScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "T1",
+			Description: "filters tweets containing the text good, flattens and groups by the mentioned users to collect a bag of complex tweet objects",
+			Dataset:     "twitter",
+			Build:       buildT1,
+			Pattern: treepattern.New(
+				treepattern.Desc("id_str").WithEq(nested.StringVal(HotUserID)),
+				treepattern.Child("tweets", treepattern.Child("text").WithContains(GoodWord)),
+			),
+		},
+		{
+			Name:        "T2",
+			Description: "flattens the nested lists hashtags, media, user mentions",
+			Dataset:     "twitter",
+			Build:       buildT2,
+			Pattern: treepattern.New(
+				treepattern.Child("tag").WithEq(nested.StringVal(BTSHashtag)),
+			),
+		},
+		{
+			Name:        "T3",
+			Description: "running example",
+			Dataset:     "twitter",
+			Build:       ExamplePipeline,
+			Pattern: treepattern.New(
+				treepattern.Desc("id_str").WithEq(nested.StringVal(HotUserID)),
+				treepattern.Child("tweets", treepattern.Child("text")),
+			),
+		},
+		{
+			Name:        "T4",
+			Description: "associates all occurring hashtags with the authoring and mentioned users",
+			Dataset:     "twitter",
+			Build:       buildT4,
+			Pattern: treepattern.New(
+				treepattern.Child("tag").WithEq(nested.StringVal(BTSHashtag)),
+				treepattern.Child("users"),
+			),
+		},
+		{
+			Name:        "T5",
+			Description: "finds all users that tweet about BTS, and are mentioned in a BTS tweet",
+			Dataset:     "twitter",
+			Build:       buildT5,
+			Pattern: treepattern.New(
+				treepattern.Child("author_id").WithEq(nested.StringVal(HotUserID)),
+			),
+		},
+	}
+}
+
+// DBLPScenarios returns D1–D5.
+func DBLPScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "D1",
+			Description: "associates inproceedings from 2015 with the their according proceeding(s)",
+			Dataset:     "dblp",
+			Build:       buildD1,
+			Pattern: treepattern.New(
+				treepattern.Child("pkey").WithEq(nested.StringVal(HotProceedingKey)),
+			),
+		},
+		{
+			Name:        "D2",
+			Description: "unites and restructures conference proceedings and articles",
+			Dataset:     "dblp",
+			Build:       buildD2,
+			Pattern: treepattern.New(
+				treepattern.Desc("key").WithEq(nested.StringVal(HotProceedingKey)),
+			),
+		},
+		{
+			Name:        "D3",
+			Description: "computes nested list for aliase, co-authors, and works per author",
+			Dataset:     "dblp",
+			Build:       buildD3,
+			Pattern: treepattern.New(
+				treepattern.Child("aid").WithEq(nested.StringVal(HotAuthorID)),
+				treepattern.Child("works"),
+			),
+		},
+		{
+			Name:        "D4",
+			Description: "computes nested list of all associated inproceedings for each proceeding",
+			Dataset:     "dblp",
+			Build:       buildD4,
+			Pattern: treepattern.New(
+				treepattern.Child("pkey").WithEq(nested.StringVal(HotProceedingKey)),
+				treepattern.Child("inproceedings"),
+			),
+		},
+		{
+			Name:        "D5",
+			Description: "is D4 extended with a UDF in map that returns the number of authors per proceeding",
+			Dataset:     "dblp",
+			Build:       buildD5,
+			Pattern: treepattern.New(
+				treepattern.Child("pkey").WithEq(nested.StringVal(HotProceedingKey)),
+				treepattern.Child("inproceedings"),
+			),
+		},
+	}
+}
+
+func buildT1() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read := p.Source("tweets.json")
+	filt := p.Filter(read, engine.Contains(engine.Col("text"), engine.LitString(GoodWord)))
+	flat := p.Flatten(filt, "user_mentions", "m_user")
+	sel := p.Select(flat,
+		engine.StructField("tweet",
+			engine.Column("text", "text"),
+			engine.Column("retweet_cnt", "retweet_cnt"),
+		),
+		engine.Column("m_user", "m_user"),
+	)
+	p.Aggregate(sel,
+		[]engine.GroupKey{engine.KeyAs("user", "m_user")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectList, "tweet", "tweets")},
+	)
+	return p
+}
+
+func buildT2() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read := p.Source("tweets.json")
+	ft := p.Flatten(read, "hashtags", "htag")
+	fm := p.Flatten(ft, "media", "med")
+	fu := p.Flatten(fm, "user_mentions", "m_user")
+	p.Select(fu,
+		engine.Column("text", "text"),
+		engine.Column("tag", "htag.text"),
+		engine.Column("url", "med.media_url"),
+		engine.Column("mid", "m_user.id_str"),
+		engine.Column("mname", "m_user.name"),
+	)
+	return p
+}
+
+func buildT4() *engine.Pipeline {
+	p := engine.NewPipeline()
+	// Authoring users per hashtag.
+	readA := p.Source("tweets.json")
+	flatA := p.Flatten(readA, "hashtags", "htag")
+	selA := p.Select(flatA,
+		engine.Column("tag", "htag.text"),
+		engine.Column("uid", "user.id_str"),
+	)
+	// Mentioned users per hashtag.
+	readB := p.Source("tweets.json")
+	flatB1 := p.Flatten(readB, "hashtags", "htag")
+	flatB2 := p.Flatten(flatB1, "user_mentions", "m_user")
+	selB := p.Select(flatB2,
+		engine.Column("tag", "htag.text"),
+		engine.Column("uid", "m_user.id_str"),
+	)
+	uni := p.Union(selA, selB)
+	p.Aggregate(uni,
+		[]engine.GroupKey{engine.Key("tag")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectSet, "uid", "users")},
+	)
+	return p
+}
+
+func buildT5() *engine.Pipeline {
+	p := engine.NewPipeline()
+	// Users tweeting about BTS.
+	readA := p.Source("tweets.json")
+	filtA := p.Filter(readA, engine.Contains(engine.Col("text"), engine.LitString(BTSHashtag)))
+	selA := p.Select(filtA,
+		engine.Column("author_id", "user.id_str"),
+		engine.Column("author_name", "user.name"),
+	)
+	// Users mentioned in BTS tweets.
+	readB := p.Source("tweets.json")
+	filtB := p.Filter(readB, engine.Contains(engine.Col("text"), engine.LitString(BTSHashtag)))
+	flatB := p.Flatten(filtB, "user_mentions", "m_user")
+	selB := p.Select(flatB,
+		engine.Column("mentioned_id", "m_user.id_str"),
+		engine.Column("mention_text", "text"),
+	)
+	p.Join(selA, selB, engine.Col("author_id"), engine.Col("mentioned_id"))
+	return p
+}
+
+func buildD1() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readI := p.Source("dblp.json")
+	inproc := p.Filter(readI, engine.And(
+		engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")),
+		engine.Eq(engine.Col("year"), engine.LitInt(2015)),
+	))
+	selI := p.Select(inproc,
+		engine.Column("ikey", "key"),
+		engine.Column("ititle", "title"),
+		engine.Column("iauthors", "authors"),
+		engine.Column("crossref", "crossref"),
+	)
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.Column("pkey", "key"),
+		engine.Column("ptitle", "title"),
+		engine.Column("booktitle", "booktitle"),
+	)
+	p.Join(selI, selP, engine.Col("crossref"), engine.Col("pkey"))
+	return p
+}
+
+func buildD2() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.StructField("pub",
+			engine.Column("key", "key"),
+			engine.Column("title", "title"),
+		),
+		engine.Column("year", "year"),
+		engine.Column("venue", "booktitle"),
+	)
+	readA := p.Source("dblp.json")
+	art := p.Filter(readA, engine.Eq(engine.Col("record_type"), engine.LitString("article")))
+	selA := p.Select(art,
+		engine.StructField("pub",
+			engine.Column("key", "key"),
+			engine.Column("title", "title"),
+		),
+		engine.Column("year", "year"),
+		engine.Column("venue", "journal"),
+	)
+	p.Union(selP, selA)
+	return p
+}
+
+func buildD3() *engine.Pipeline {
+	p := engine.NewPipeline()
+	// Works and aliases per author: flatten early, then nest per author.
+	readA := p.Source("dblp.json")
+	pubs := p.Filter(readA, engine.Or(
+		engine.Eq(engine.Col("record_type"), engine.LitString("article")),
+		engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")),
+	))
+	flatA := p.Flatten(pubs, "authors", "a")
+	selA := p.Select(flatA,
+		engine.Column("aid", "a.id"),
+		engine.Column("aname", "a.name"),
+		engine.Column("title", "title"),
+	)
+	aggA := p.Aggregate(selA,
+		[]engine.GroupKey{engine.Key("aid")},
+		[]engine.AggSpec{
+			engine.Agg(engine.AggCollectSet, "aname", "aliases"),
+			engine.Agg(engine.AggCollectList, "title", "works"),
+		},
+	)
+	// Co-authors per author from inproceedings: a double flatten builds the
+	// co-author pairs, nested per author.
+	readB := p.Source("dblp.json")
+	inproc := p.Filter(readB, engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")))
+	flatB1 := p.Flatten(inproc, "authors", "a1")
+	flatB2 := p.Flatten(flatB1, "authors", "a2")
+	pairs := p.Filter(flatB2, engine.Ne(engine.Col("a1.id"), engine.Col("a2.id")))
+	selB := p.Select(pairs,
+		engine.Column("caid", "a1.id"),
+		engine.Column("coname", "a2.name"),
+	)
+	aggB := p.Aggregate(selB,
+		[]engine.GroupKey{engine.Key("caid")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectSet, "coname", "coauthors")},
+	)
+	// One row per author on both sides: the very selective join the paper's
+	// D3 discussion refers to (Sec. 7.3.2).
+	p.Join(aggA, aggB, engine.Col("aid"), engine.Col("caid"))
+	return p
+}
+
+func buildD4() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readI := p.Source("dblp.json")
+	inproc := p.Filter(readI, engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")))
+	selI := p.Select(inproc,
+		engine.StructField("paper",
+			engine.Column("key", "key"),
+			engine.Column("title", "title"),
+		),
+		engine.Column("crossref", "crossref"),
+	)
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.Column("pkey", "key"),
+		engine.Column("ptitle", "title"),
+	)
+	joined := p.Join(selI, selP, engine.Col("crossref"), engine.Col("pkey"))
+	p.Aggregate(joined,
+		[]engine.GroupKey{engine.Key("pkey"), engine.Key("ptitle")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectList, "paper", "inproceedings")},
+	)
+	return p
+}
+
+func buildD5() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readI := p.Source("dblp.json")
+	inproc := p.Filter(readI, engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")))
+	selI := p.Select(inproc,
+		engine.StructField("paper",
+			engine.Column("key", "key"),
+			engine.Column("title", "title"),
+		),
+		engine.Column("authors", "authors"),
+		engine.Column("crossref", "crossref"),
+	)
+	// UDF: count the paper's authors (opaque map, Tab. 7's D5).
+	counted := p.Map(selI, engine.MapFunc{
+		Name: "countAuthors",
+		Fn: func(d nested.Value) (nested.Value, error) {
+			authors, _ := d.Get("authors")
+			out := d.WithoutField("authors")
+			return out.WithField("n_authors", nested.Int(int64(authors.Len()))), nil
+		},
+	})
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.Column("pkey", "key"),
+		engine.Column("ptitle", "title"),
+	)
+	joined := p.Join(counted, selP, engine.Col("crossref"), engine.Col("pkey"))
+	p.Aggregate(joined,
+		[]engine.GroupKey{engine.Key("pkey"), engine.Key("ptitle")},
+		[]engine.AggSpec{
+			engine.Agg(engine.AggCollectList, "paper", "inproceedings"),
+			engine.Agg(engine.AggSum, "n_authors", "total_authors"),
+		},
+	)
+	return p
+}

@@ -1,0 +1,54 @@
+package pebble
+
+import "pebble/internal/engine"
+
+// SelectField is one projection of a select operator.
+type SelectField = engine.SelectField
+
+// MapFunc is an opaque user-defined transformation for the map operator.
+type MapFunc = engine.MapFunc
+
+// GroupKey is one grouping attribute of an aggregation.
+type GroupKey = engine.GroupKey
+
+// AggSpec is one aggregation function application.
+type AggSpec = engine.AggSpec
+
+// AggFunc enumerates aggregation functions.
+type AggFunc = engine.AggFunc
+
+// The aggregation functions: Count, Sum, Max, Min and Avg return constants;
+// CollectList and CollectSet nest their inputs into collections.
+const (
+	AggCount       = engine.AggCount
+	AggSum         = engine.AggSum
+	AggMax         = engine.AggMax
+	AggMin         = engine.AggMin
+	AggAvg         = engine.AggAvg
+	AggCollectList = engine.AggCollectList
+	AggCollectSet  = engine.AggCollectSet
+)
+
+// Column returns a projection of an access path under the given output name.
+func Column(name, col string) SelectField { return engine.Column(name, col) }
+
+// StructField returns a projection constructing a nested item from fields —
+// the <id_str, name> → user form of the paper's Fig. 1.
+func StructField(name string, fields ...SelectField) SelectField {
+	return engine.StructField(name, fields...)
+}
+
+// Computed returns a projection evaluating an expression; its provenance
+// records accesses but no manipulation mapping.
+func Computed(name string, e Expr) SelectField { return engine.Computed(name, e) }
+
+// Key returns a GroupKey grouping by the given access path, named after the
+// path's last attribute.
+func Key(col string) GroupKey { return engine.Key(col) }
+
+// KeyAs returns a GroupKey with an explicit output name.
+func KeyAs(name, col string) GroupKey { return engine.KeyAs(name, col) }
+
+// Agg returns an AggSpec applying fn to the values at col, output as out.
+// col may be empty for AggCount.
+func Agg(fn AggFunc, col, out string) AggSpec { return engine.Agg(fn, col, out) }

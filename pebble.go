@@ -1,0 +1,163 @@
+// Package pebble is a Go reproduction of Pebble, the structural provenance
+// system for nested data in big data analytics of Diestelkämper & Herschel,
+// "Tracing nested data with structural provenance for big data analytics"
+// (EDBT 2020).
+//
+// Pebble traces *structural provenance*: in addition to which top-level
+// input items contribute to which result items (lineage), it records — on
+// schema level, at negligible cost — which attribute paths each operator
+// accesses and which it structurally manipulates. At query time a
+// tree-pattern selects result items (including individual elements of nested
+// collections) and the backtracing algorithm walks the captured operator
+// provenance back to the inputs, returning per input item a backtracing
+// tree that distinguishes contributing attributes (needed to reproduce the
+// queried result) from influencing attributes (accessed during processing
+// but not part of the result).
+//
+// The package bundles everything the paper builds on: a nested data model,
+// a partitioned dataflow engine with filter, select, map, join, union,
+// flatten, and grouping/aggregation operators, the lightweight capture, the
+// tree-pattern matcher, and the backtracing algorithms.
+//
+// A minimal session looks like this:
+//
+//	p := pebble.NewPipeline()
+//	src := p.Source("tweets.json")
+//	filt := p.Filter(src, pebble.Eq(pebble.Col("retweet_cnt"), pebble.LitInt(0)))
+//	...
+//	session := pebble.Session{Partitions: 4}
+//	cap, err := session.Capture(p, inputs)
+//	q, err := cap.Query(pebble.NewPattern(
+//	    pebble.Desc("id_str").WithEq(pebble.String("lp")),
+//	))
+//	fmt.Println(q.Report())
+package pebble
+
+import (
+	"io"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/core"
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/treepattern"
+)
+
+// Session configures pipeline executions; see core.Session.
+type Session = core.Session
+
+// Captured is an executed pipeline with its structural provenance.
+type Captured = core.Captured
+
+// QueryResult is the answer to a structural provenance question.
+type QueryResult = core.QueryResult
+
+// SourceItem pairs one traced input item with its resolved source row.
+type SourceItem = core.SourceItem
+
+// Pipeline is a DAG of dataflow operators; build it with NewPipeline and the
+// builder methods Source, Filter, Select, Map, Join, Union, Flatten, and
+// Aggregate.
+type Pipeline = engine.Pipeline
+
+// Op is one operator node of a pipeline.
+type Op = engine.Op
+
+// Dataset is a partitioned collection of provenance-annotated nested items.
+type Dataset = engine.Dataset
+
+// Row is one top-level item with its provenance identifier.
+type Row = engine.Row
+
+// Result is the outcome of a pipeline execution.
+type Result = engine.Result
+
+// Tree is a backtracing tree distinguishing contributing from influencing
+// attributes (Def. 6.3).
+type Tree = backtrace.Tree
+
+// TreeNode is one node of a backtracing tree.
+type TreeNode = backtrace.Node
+
+// Structure is a backtracing structure: provenance identifiers paired with
+// backtracing trees (Def. 6.2).
+type Structure = backtrace.Structure
+
+// TraceResult maps source operators to their backtraced structures.
+type TraceResult = backtrace.Result
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return engine.NewPipeline() }
+
+// NewDataset partitions values into parts partitions, assigning each row a
+// unique provenance identifier.
+func NewDataset(name string, values []Value, parts int) *Dataset {
+	return engine.NewDataset(name, values, parts, engine.NewIDGen(1))
+}
+
+// Pattern is a tree-pattern provenance query (Sec. 6.1).
+type Pattern = treepattern.Pattern
+
+// PatternNode is one node of a tree pattern.
+type PatternNode = treepattern.Node
+
+// NewPattern returns a tree pattern whose implicit root is the top-level
+// result item.
+func NewPattern(children ...*PatternNode) *Pattern { return treepattern.New(children...) }
+
+// Child returns a parent-child pattern node.
+func Child(attr string, children ...*PatternNode) *PatternNode {
+	return treepattern.Child(attr, children...)
+}
+
+// Desc returns an ancestor-descendant pattern node.
+func Desc(attr string, children ...*PatternNode) *PatternNode {
+	return treepattern.Desc(attr, children...)
+}
+
+// TreeFromValue builds a full-coverage backtracing tree for a result value;
+// use it to query the complete provenance of an item.
+func TreeFromValue(v Value) *Tree { return core.TreeFromValue(v) }
+
+// NewStructure returns an empty backtracing structure for hand-built
+// provenance questions.
+func NewStructure() *Structure { return backtrace.NewStructure() }
+
+// ProvenanceRun is the captured structural provenance of one execution; it
+// can be persisted with WriteTo and reloaded with ReadProvenance so queries
+// can run long after the pipeline did (e.g. during a breach investigation).
+type ProvenanceRun = provenance.Run
+
+// ReadProvenance loads a provenance run persisted with (*ProvenanceRun).WriteTo.
+func ReadProvenance(r io.Reader) (*ProvenanceRun, error) { return provenance.ReadRun(r) }
+
+// Trace answers a provenance question over a (possibly reloaded) provenance
+// run without a Session: it backtraces the structure from operator startOID.
+func Trace(run *ProvenanceRun, startOID int, b *Structure) (*TraceResult, error) {
+	return backtrace.Trace(run, startOID, b)
+}
+
+// ParsePattern builds a tree-pattern query from its textual form, e.g. the
+// paper's Fig. 4 question: `//id_str == "lp", tweets(text == "Hello World" #[2,2])`.
+// See treepattern.Parse for the grammar.
+func ParsePattern(query string) (*Pattern, error) { return treepattern.Parse(query) }
+
+// Optimize applies provenance-safe plan rewrites (filter merging and
+// pushdown below select/flatten/union) and returns the rewritten pipeline
+// with a log of applied rules. Structural provenance is captured on whatever
+// plan executes, so optimization never changes the backtraced input items.
+func Optimize(p *Pipeline) (*Pipeline, []string, error) { return engine.Optimize(p) }
+
+// Analyze type-checks the pipeline against declared input item types before
+// running it, catching unknown columns, flattening of scalars, union type
+// mismatches, join collisions, and ill-typed aggregations at plan time.
+// It returns each operator's inferred output type.
+func Analyze(p *Pipeline, inputTypes map[string]Type) (map[int]Type, error) {
+	return engine.Analyze(p, inputTypes)
+}
+
+// InferInputTypes derives input types from datasets by merging the types of
+// sampled rows (semi-structured inputs yield the union of attributes).
+func InferInputTypes(inputs map[string]*Dataset) map[string]Type {
+	return engine.InferInputTypes(inputs)
+}
