@@ -1,0 +1,21 @@
+# Developer entry points. `make check` is the gate PRs must pass: vet,
+# formatting, and the full suite under the race detector.
+
+.PHONY: build test check bench scaling
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -bench . -benchtime 1x ./...
+
+# Regenerate the worker-scaling baseline (see BENCH_PR1.json and
+# EXPERIMENTS.md; numbers are only meaningful on a multi-core machine).
+scaling:
+	go run ./cmd/benchrunner -exp scaling -gb 50 -reps 5 -workers 1,2,4 -out BENCH_PR1.json

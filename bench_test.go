@@ -9,6 +9,7 @@ package pebble_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -313,6 +314,29 @@ func BenchmarkAblationTracerReuse(b *testing.B) {
 			}
 		}
 	})
+	// Concurrent queries against one shared tracer: with per-operator index
+	// builds they no longer serialize on a tracer-wide lock.
+	b.Run("parallel", func(b *testing.B) {
+		tr := backtrace.NewTracer(run)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := tr.Trace(pipe.Sink().ID(), bs.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	// Fresh tracer per iteration, queried concurrently — exercises the
+	// concurrent first-build path (sync.Once per operator).
+	b.Run("parallel-fresh", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := backtrace.NewTracer(run).Trace(pipe.Sink().ID(), bs.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkAblationPartitions shows how the engine and its capture scale
@@ -328,6 +352,29 @@ func BenchmarkAblationPartitions(b *testing.B) {
 		b.Run(fmt.Sprintf("parts=%d/capture", parts), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := provenance.Capture(sc.Build(), inputs, engine.Options{Partitions: parts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingWorkers measures wall time of capture as the physical
+// worker count grows while the logical partitioning stays fixed — the
+// logical/physical split of schedule.go. cmd/benchrunner -exp scaling prints
+// the same sweep as a table.
+func BenchmarkScalingWorkers(b *testing.B) {
+	sc, err := workload.ByName("T2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := benchInputs(b, sc)
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := engine.Options{Partitions: engine.DefaultPartitions, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := provenance.Capture(sc.Build(), inputs, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,50 +5,90 @@
 //
 // Usage:
 //
-//	benchrunner -exp fig6|fig7|fig8a|fig8b|fig9a|fig9b|titian|perop|fig10|all \
+//	benchrunner -exp fig6|fig7|fig8a|fig8b|fig9a|fig9b|titian|perop|fig10|scaling|all \
 //	            [-gb 100,200,300,400,500] [-tweets-per-gb 40] [-records-per-gb 400] \
-//	            [-partitions 4] [-reps 3]
+//	            [-partitions 16] [-workers 1,2,4] [-reps 3] [-out scaling.json]
 //
 // The -gb values are simulated gigabytes; item densities per GB are
-// configurable (see DESIGN.md for the calibration).
+// configurable (see DESIGN.md for the calibration). -exp scaling sweeps the
+// physical worker count at fixed logical partitioning and, with -out, writes
+// the rows as JSON (see BENCH_PR1.json for the reference baseline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"pebble/internal/engine"
 	"pebble/internal/experiments"
 	"pebble/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig8a, fig8b, fig9a, fig9b, titian, perop, fig10, annotations, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig8a, fig8b, fig9a, fig9b, titian, perop, fig10, annotations, scaling, all")
 	gbList := flag.String("gb", "", "comma-separated simulated-GB sizes (defaults per experiment)")
 	tweetsPerGB := flag.Int("tweets-per-gb", 40, "tweets per simulated GB")
 	recordsPerGB := flag.Int("records-per-gb", 400, "DBLP records per simulated GB")
-	partitions := flag.Int("partitions", 4, "engine partitions")
+	partitions := flag.Int("partitions", engine.DefaultPartitions, "logical engine partitions")
+	workersList := flag.String("workers", "", "comma-separated worker counts for -exp scaling (default 1,2,4,NumCPU)")
 	reps := flag.Int("reps", 3, "measured repetitions per data point")
+	out := flag.String("out", "", "write -exp scaling results as JSON to this file")
 	flag.Parse()
 
 	cfg := experiments.Config{Partitions: *partitions, Reps: *reps, Warmup: true}
 	run := func(name string) {
-		if err := runExperiment(name, cfg, *gbList, *tweetsPerGB, *recordsPerGB); err != nil {
+		if err := runExperiment(name, cfg, *gbList, *tweetsPerGB, *recordsPerGB, *workersList, *out); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
 	switch *exp {
 	case "all":
-		for _, name := range []string{"fig6", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "titian", "perop", "fig10", "annotations"} {
+		for _, name := range []string{"fig6", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "titian", "perop", "fig10", "annotations", "scaling"} {
 			run(name)
 			fmt.Println()
 		}
 	default:
 		run(*exp)
 	}
+}
+
+// scalingBaseline is the JSON document -out writes: the environment the sweep
+// ran in plus the measured rows, so baselines recorded in the repo are
+// interpretable on other machines.
+type scalingBaseline struct {
+	NumCPU     int                      `json:"num_cpu"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Partitions int                      `json:"partitions"`
+	SimGB      int                      `json:"sim_gb"`
+	Reps       int                      `json:"reps"`
+	Rows       []experiments.ScalingRow `json:"rows"`
+}
+
+func writeScalingJSON(path string, cfg experiments.Config, rows []experiments.ScalingRow) error {
+	doc := scalingBaseline{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Partitions: cfg.Partitions,
+		Reps:       cfg.Reps,
+		Rows:       rows,
+	}
+	if cfg.Partitions < 1 {
+		doc.Partitions = engine.DefaultPartitions
+	}
+	if len(rows) > 0 {
+		doc.SimGB = rows[0].SimGB
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseGBs(s string, def []int) []int {
@@ -67,7 +107,23 @@ func parseGBs(s string, def []int) []int {
 	return out
 }
 
-func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPerGB, recordsPerGB int) error {
+func parseWorkers(s string) []int {
+	if s == "" {
+		return nil // Scaling picks 1,2,4,NumCPU
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -workers value %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPerGB, recordsPerGB int, workersList, out string) error {
 	sweepFull := experiments.Sweep{
 		SimGBs:       parseGBs(gbList, []int{100, 200, 300, 400, 500}),
 		TweetsPerGB:  tweetsPerGB,
@@ -145,6 +201,19 @@ func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPer
 		fmt.Print(experiments.RenderAnnotations(
 			"Sec 2 — annotations on 1 simulated GB of wide tweets",
 			experiments.AnnotationComparison(workload.GenerateTwitter(scale))))
+	case "scaling":
+		rows, err := experiments.Scaling(cfg, sweepSmall, parseWorkers(workersList))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScaling(
+			"Scaling — capture wall time vs physical workers, Twitter T1-T5", rows))
+		if out != "" {
+			if err := writeScalingJSON(out, cfg, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,0 +1,88 @@
+// Determinism regression tests for the logical/physical split (schedule.go):
+// logical partitioning fixes results, identifiers, and captured provenance;
+// the physical worker count may only change wall time. Every Twitter and
+// DBLP scenario must produce byte-identical output for any Workers setting.
+package pebble_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// captureFingerprint runs a scenario under provenance capture and returns
+// everything that must be schedule-independent: output rows (ids + values),
+// per-source row ids, and the serialized run bytes.
+func captureFingerprint(t *testing.T, sc workload.Scenario, inputs map[string]*engine.Dataset, workers int) (*engine.Result, []byte) {
+	t.Helper()
+	opts := engine.Options{Partitions: 4, Workers: workers}
+	res, run, err := provenance.Capture(sc.Build(), inputs, opts)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		t.Fatalf("workers=%d: serialize run: %v", workers, err)
+	}
+	return res, buf.Bytes()
+}
+
+func sameRows(a, b *engine.Dataset) error {
+	ra, rb := a.Rows(), b.Rows()
+	if len(ra) != len(rb) {
+		return fmt.Errorf("row counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			return fmt.Errorf("row %d: id %d vs %d", i, ra[i].ID, rb[i].ID)
+		}
+		if !nested.Equal(ra[i].Value, rb[i].Value) {
+			return fmt.Errorf("row %d (id %d): values differ", i, ra[i].ID)
+		}
+	}
+	return nil
+}
+
+// TestDeterminismAcrossWorkers runs T1–T5 and D1–D5 with Workers ∈ {1, 2,
+// NumCPU} and asserts identical results, identifiers, and captured runs.
+// Running under `go test -race` additionally exercises the DAG scheduler,
+// the worker pool, and the parallel shuffle for data races.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	workersList := []int{1, 2, runtime.NumCPU()}
+	scenarios := append(workload.TwitterScenarios(), workload.DBLPScenarios()...)
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			inputs := sc.Input(workload.DefaultScale(1), 4)
+			baseRes, baseRun := captureFingerprint(t, sc, inputs, workersList[0])
+			for _, workers := range workersList[1:] {
+				res, runBytes := captureFingerprint(t, sc, inputs, workers)
+				if err := sameRows(baseRes.Output, res.Output); err != nil {
+					t.Errorf("workers=%d: output differs from workers=%d: %v", workers, workersList[0], err)
+				}
+				if len(res.Sources) != len(baseRes.Sources) {
+					t.Fatalf("workers=%d: %d sources, want %d", workers, len(res.Sources), len(baseRes.Sources))
+				}
+				for oid, base := range baseRes.Sources {
+					got, ok := res.Sources[oid]
+					if !ok {
+						t.Fatalf("workers=%d: missing source %d", workers, oid)
+					}
+					if err := sameRows(base, got); err != nil {
+						t.Errorf("workers=%d: source %d differs: %v", workers, oid, err)
+					}
+				}
+				if !bytes.Equal(baseRun, runBytes) {
+					t.Errorf("workers=%d: serialized provenance run differs from workers=%d (%d vs %d bytes)",
+						workers, workersList[0], len(runBytes), len(baseRun))
+				}
+			}
+		})
+	}
+}

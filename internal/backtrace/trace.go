@@ -47,15 +47,23 @@ func Trace(run *provenance.Run, startOID int, b *Structure) (*Result, error) {
 // Tracer answers provenance queries over one captured run. It builds the
 // association indexes (output id → association rows) lazily, once per
 // operator, and reuses them across queries — the query-side optimisation the
-// paper lists as future work. A Tracer is safe for concurrent queries.
+// paper lists as future work. A Tracer is safe for concurrent queries, and
+// index construction is sharded per operator: each operator's index is built
+// exactly once under its own sync.Once, so concurrent queries touching
+// different operators build in parallel instead of serializing on one
+// tracer-wide lock, and queries arriving after the build proceed lock-free.
 type Tracer struct {
 	run *provenance.Run
+	idx sync.Map // operator id -> *opIndex
+}
 
-	mu         sync.Mutex
-	unaryIdx   map[int]map[int64][]int64
-	binaryIdx  map[int]map[int64][]provenance.BinaryAssoc
-	flattenIdx map[int]map[int64]flatSrc
-	aggIdx     map[int]map[int64][]aggEntry
+// opIndex holds one operator's association indexes, built once on first use.
+type opIndex struct {
+	once    sync.Once
+	unary   map[int64][]int64
+	binary  map[int64][]provenance.BinaryAssoc
+	flatten map[int64]flatSrc
+	agg     map[int64][]aggEntry
 }
 
 type flatSrc struct {
@@ -70,13 +78,7 @@ type aggEntry struct {
 
 // NewTracer returns a tracer over the captured run.
 func NewTracer(run *provenance.Run) *Tracer {
-	return &Tracer{
-		run:        run,
-		unaryIdx:   make(map[int]map[int64][]int64),
-		binaryIdx:  make(map[int]map[int64][]provenance.BinaryAssoc),
-		flattenIdx: make(map[int]map[int64]flatSrc),
-		aggIdx:     make(map[int]map[int64][]aggEntry),
-	}
+	return &Tracer{run: run}
 }
 
 // Trace runs one provenance query (Alg. 1) against the captured run.
@@ -88,62 +90,52 @@ func (t *Tracer) Trace(startOID int, b *Structure) (*Result, error) {
 	return q.out, nil
 }
 
+// indexFor returns the operator's indexes, building them on first use. Only
+// the association kinds the operator actually captured allocate entries, so
+// the unused maps stay empty.
+func (t *Tracer) indexFor(op *provenance.Operator) *opIndex {
+	v, ok := t.idx.Load(op.OID)
+	if !ok {
+		v, _ = t.idx.LoadOrStore(op.OID, &opIndex{})
+	}
+	ix := v.(*opIndex)
+	ix.once.Do(func() {
+		ix.unary = make(map[int64][]int64, len(op.Unary))
+		for _, a := range op.Unary {
+			ix.unary[a.Out] = append(ix.unary[a.Out], a.In)
+		}
+		ix.binary = make(map[int64][]provenance.BinaryAssoc, len(op.Binary))
+		for _, a := range op.Binary {
+			ix.binary[a.Out] = append(ix.binary[a.Out], a)
+		}
+		ix.flatten = make(map[int64]flatSrc, len(op.Flatten))
+		for _, a := range op.Flatten {
+			ix.flatten[a.Out] = flatSrc{in: a.In, pos: a.Pos}
+		}
+		ix.agg = make(map[int64][]aggEntry, len(op.Agg))
+		for _, a := range op.Agg {
+			for i, in := range a.Ins {
+				ix.agg[a.Out] = append(ix.agg[a.Out], aggEntry{in: in, pP: i + 1})
+			}
+		}
+	})
+	return ix
+}
+
 func (t *Tracer) unary(op *provenance.Operator) map[int64][]int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if idx, ok := t.unaryIdx[op.OID]; ok {
-		return idx
-	}
-	idx := make(map[int64][]int64, len(op.Unary))
-	for _, a := range op.Unary {
-		idx[a.Out] = append(idx[a.Out], a.In)
-	}
-	t.unaryIdx[op.OID] = idx
-	return idx
+	return t.indexFor(op).unary
 }
 
 func (t *Tracer) binary(op *provenance.Operator) map[int64][]provenance.BinaryAssoc {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if idx, ok := t.binaryIdx[op.OID]; ok {
-		return idx
-	}
-	idx := make(map[int64][]provenance.BinaryAssoc, len(op.Binary))
-	for _, a := range op.Binary {
-		idx[a.Out] = append(idx[a.Out], a)
-	}
-	t.binaryIdx[op.OID] = idx
-	return idx
+	return t.indexFor(op).binary
 }
 
 func (t *Tracer) flatten(op *provenance.Operator) map[int64]flatSrc {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if idx, ok := t.flattenIdx[op.OID]; ok {
-		return idx
-	}
-	idx := make(map[int64]flatSrc, len(op.Flatten))
-	for _, a := range op.Flatten {
-		idx[a.Out] = flatSrc{in: a.In, pos: a.Pos}
-	}
-	t.flattenIdx[op.OID] = idx
-	return idx
+	return t.indexFor(op).flatten
 }
 
 func (t *Tracer) agg(op *provenance.Operator) map[int64][]aggEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if idx, ok := t.aggIdx[op.OID]; ok {
-		return idx
-	}
-	idx := make(map[int64][]aggEntry, len(op.Agg))
-	for _, a := range op.Agg {
-		for i, in := range a.Ins {
-			idx[a.Out] = append(idx[a.Out], aggEntry{in: in, pP: i + 1})
-		}
-	}
-	t.aggIdx[op.OID] = idx
-	return idx
+	return t.indexFor(op).agg
 }
 
 // tracer is the per-query state.

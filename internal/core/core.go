@@ -23,9 +23,14 @@ import (
 
 // Session configures capture and query executions.
 type Session struct {
-	// Partitions is the data parallelism of pipeline runs (default 4).
+	// Partitions is the logical data parallelism of pipeline runs (default
+	// engine.DefaultPartitions). It fixes identifiers and result order, not
+	// the goroutine count.
 	Partitions int
-	// Sequential disables goroutine parallelism.
+	// Workers is the physical worker-goroutine count (0 = NumCPU). Results
+	// are byte-identical for every value; only wall time changes.
+	Workers int
+	// Sequential disables goroutine parallelism (equivalent to Workers=1).
 	Sequential bool
 	// AnalyzeFirst type-checks the plan against the input schemas before
 	// executing, failing fast on unknown columns and type errors.
@@ -35,9 +40,9 @@ type Session struct {
 func (s Session) options() engine.Options {
 	parts := s.Partitions
 	if parts < 1 {
-		parts = 4
+		parts = engine.DefaultPartitions
 	}
-	return engine.Options{Partitions: parts, Sequential: s.Sequential}
+	return engine.Options{Partitions: parts, Workers: s.Workers, Sequential: s.Sequential}
 }
 
 // Captured is a pipeline execution with its structural provenance, ready for

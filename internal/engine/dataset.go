@@ -2,8 +2,12 @@
 // directed acyclic graph of operators (filter, select, map, join, union,
 // flatten, grouping/aggregation) over partitioned datasets of nested data
 // items. It stands in for the Apache Spark substrate of the paper's Pebble
-// system: every operator processes its input partitions in parallel (one
-// goroutine per partition) and join/aggregation shuffle by key hash.
+// system: independent DAG branches execute concurrently, every operator
+// processes its logical partitions as morsels on a bounded worker pool
+// (Options.Workers goroutines), and join/aggregation shuffle by key hash.
+// Logical partitioning is decoupled from physical parallelism: results,
+// identifiers, and captured provenance are byte-identical for every Workers
+// setting (see schedule.go).
 //
 // Provenance capture is decoupled through the CaptureSink interface so the
 // same execution path runs with no capture, Titian-style lineage capture, or

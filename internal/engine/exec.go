@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -10,10 +11,26 @@ import (
 	"pebble/internal/nested"
 )
 
+// DefaultPartitions is the default logical-partition count. Logical
+// partitioning is fixed and seed-deterministic — it decides identifier
+// assignment, shuffle layout, and grouping order — while the number of
+// goroutines actually executing those partitions is the independent,
+// hardware-sized Options.Workers. A constant comfortably above typical core
+// counts keeps morsels small enough for the worker pool to balance.
+const DefaultPartitions = 16
+
 // Options configures one pipeline execution.
 type Options struct {
-	// Partitions is the degree of data parallelism (default 4).
+	// Partitions is the degree of *logical* data parallelism (default
+	// DefaultPartitions). It determines partition layout, shuffle bucketing,
+	// and identifier assignment, and therefore must be held fixed for
+	// reproducible runs.
 	Partitions int
+	// Workers bounds the *physical* parallelism: the number of goroutines
+	// executing partition morsels and DAG branches (default
+	// runtime.NumCPU()). Any value yields byte-identical results, ids, and
+	// captured provenance; Sequential forces 1.
+	Workers int
 	// Sequential disables goroutine parallelism; useful for debugging and
 	// for single-threaded benchmarking.
 	Sequential bool
@@ -71,31 +88,35 @@ func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error)
 		return nil, err
 	}
 	if opts.Partitions < 1 {
-		opts.Partitions = 4
+		opts.Partitions = DefaultPartitions
+	}
+	workers := opts.Workers
+	if opts.Sequential {
+		workers = 1
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
 	}
 	gen := opts.IDGen
 	if gen == nil {
 		gen = NewIDGen(1)
 	}
-	ex := &executor{opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset)}
+	ex := &executor{opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset, len(p.Ops()))}
 	res := &Result{Sources: make(map[int]*Dataset)}
 	if opts.KeepIntermediates {
 		res.Intermediates = make(map[int]*Dataset)
 	}
-	for _, o := range p.Ops() {
-		start := time.Now()
-		out, err := ex.exec(o)
-		if err != nil {
-			return nil, fmt.Errorf("engine: operator %s: %w", o, err)
+	if workers <= 1 {
+		if err := ex.runSequential(p, res); err != nil {
+			return nil, err
 		}
-		ex.outputs[o.id] = out
-		if o.typ == OpSource {
-			res.Sources[o.id] = out
+	} else {
+		ex.pool = newWorkerPool(workers)
+		defer ex.pool.close()
+		ex.gate = newReserveGate(len(p.Ops()))
+		if err := ex.runDAG(p, res); err != nil {
+			return nil, err
 		}
-		if opts.KeepIntermediates {
-			res.Intermediates[o.id] = out
-		}
-		res.Stats = append(res.Stats, OpStats{OID: o.id, Type: o.typ, Rows: out.Len(), Elapsed: time.Since(start)})
 	}
 	res.Output = ex.outputs[p.Sink().id]
 	// Free non-sink intermediates unless requested (sources stay reachable
@@ -104,11 +125,26 @@ func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error)
 }
 
 type executor struct {
-	opts    Options
-	gen     *IDGen
-	inputs  map[string]*Dataset
+	opts   Options
+	gen    *IDGen
+	inputs map[string]*Dataset
+
+	// pool executes partition morsels when physical parallelism is on; nil
+	// means fully sequential execution. gate serialises id reservation in
+	// plan order under the DAG scheduler (nil when sequential — the plan
+	// loop already reserves in that order).
+	pool *workerPool
+	gate *reserveGate
+
+	outMu   sync.RWMutex // guards outputs under concurrent DAG branches
 	outputs map[int]*Dataset
+	resMu   sync.Mutex // guards Result bookkeeping in recordResult
 }
+
+// valueHash computes a shuffle key's hash. Indirect so tests can install a
+// counting double and assert that grouping/joining reuse the hash cached
+// during the shuffle instead of recomputing it per row.
+var valueHash = nested.Value.Hash
 
 func (e *executor) exec(o *Op) (*Dataset, error) {
 	switch o.typ {
@@ -138,12 +174,39 @@ func (e *executor) exec(o *Op) (*Dataset, error) {
 	return nil, fmt.Errorf("unknown operator type %q", o.typ)
 }
 
-func (e *executor) in(o *Op, i int) *Dataset { return e.outputs[o.inputs[i].id] }
+func (e *executor) in(o *Op, i int) *Dataset {
+	if e.pool == nil {
+		return e.outputs[o.inputs[i].id]
+	}
+	e.outMu.RLock()
+	defer e.outMu.RUnlock()
+	return e.outputs[o.inputs[i].id]
+}
 
-// forEachPartition runs f for every partition index, in parallel unless
-// Options.Sequential is set, and returns the first error.
+func (e *executor) setOutput(oid int, d *Dataset) {
+	if e.pool == nil {
+		e.outputs[oid] = d
+		return
+	}
+	e.outMu.Lock()
+	e.outputs[oid] = d
+	e.outMu.Unlock()
+}
+
+// reserve hands out n consecutive identifiers for operator oid. Under the
+// DAG scheduler the reservation is serialised in plan order (see
+// reserveGate), so ids are independent of the physical schedule.
+func (e *executor) reserve(oid int, n int64) int64 {
+	if e.gate == nil {
+		return e.gen.Reserve(n)
+	}
+	return e.gate.reserve(e.gen, oid, n)
+}
+
+// forEachPartition runs f for every logical partition index as morsels on
+// the worker pool (inline when sequential) and returns the first error.
 func (e *executor) forEachPartition(n int, f func(part int) error) error {
-	if e.opts.Sequential || n <= 1 {
+	if e.pool == nil || n <= 1 {
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
 				return err
@@ -151,22 +214,7 @@ func (e *executor) forEachPartition(n int, f func(part int) error) error {
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(part int) {
-			defer wg.Done()
-			errs[part] = f(part)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.pool.forEach(n, f)
 }
 
 // pending is a produced row awaiting its identifier, carrying the
@@ -200,7 +248,7 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 	for _, p := range parts {
 		total += len(p)
 	}
-	base := e.gen.Reserve(int64(total))
+	base := e.reserve(oid, int64(total))
 	offsets := make([]int64, len(parts))
 	off := base
 	for i, p := range parts {
@@ -265,7 +313,7 @@ func (e *executor) execSource(o *Op) (*Dataset, error) {
 	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
 	// Reading annotates every top-level item with a fresh identifier.
 	total := in.Len()
-	base := e.gen.Reserve(int64(total))
+	base := e.reserve(o.id, int64(total))
 	offsets := make([]int64, len(in.Partitions))
 	off := base
 	for i, p := range in.Partitions {
@@ -461,20 +509,28 @@ func (e *executor) execUnion(o *Op) (*Dataset, error) {
 	return e.finalize(o.id, parts, assocBinary)
 }
 
-// keyedRow is a row shuffled to a bucket with its evaluated key and a global
-// sequence number that keeps grouping deterministic.
+// keyedRow is a row shuffled to a bucket with its evaluated key, the key's
+// cached hash (computed once during the shuffle, reused by join probing and
+// group clustering), and a global sequence number that keeps grouping
+// deterministic.
 type keyedRow struct {
-	row Row
-	key nested.Value
-	seq int
+	row  Row
+	key  nested.Value
+	hash uint64
+	seq  int
 }
 
-// shuffle hash-partitions the dataset's rows into buckets by key expression.
+// shuffle hash-partitions the dataset's rows into buckets by key expression,
+// in two phases: a map phase evaluating and hashing keys per input
+// partition, and a merge phase concatenating the per-partition bucket runs
+// in parallel, one exactly-sized output bucket per morsel. The merge keeps
+// partition-major order inside every bucket, so the bucket contents are
+// byte-identical to a sequential merge.
+//
 // Rows with null keys are dropped (they can never match an equi-join and
 // SQL group-by treats them as their own group — callers that need null
 // groups pass keepNull).
 func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, error), buckets int, keepNull bool) ([][]keyedRow, error) {
-	out := make([][]keyedRow, buckets)
 	perPart := make([][][]keyedRow, len(d.Partitions))
 	// Global sequence numbers: partition-major.
 	starts := make([]int, len(d.Partitions))
@@ -493,8 +549,9 @@ func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, err
 			if k.IsNull() && !keepNull {
 				continue
 			}
-			b := int(k.Hash() % uint64(buckets))
-			local[b] = append(local[b], keyedRow{row: r, key: k, seq: starts[part] + i})
+			h := valueHash(k)
+			b := int(h % uint64(buckets))
+			local[b] = append(local[b], keyedRow{row: r, key: k, hash: h, seq: starts[part] + i})
 		}
 		perPart[part] = local
 		return nil
@@ -502,10 +559,26 @@ func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, err
 	if err != nil {
 		return nil, err
 	}
-	for _, local := range perPart {
-		for b := range out {
-			out[b] = append(out[b], local[b]...)
+	// Merge phase: size every output bucket exactly from the per-partition
+	// counts and concatenate the runs, one bucket per morsel.
+	out := make([][]keyedRow, buckets)
+	err = e.forEachPartition(buckets, func(b int) error {
+		total := 0
+		for _, local := range perPart {
+			total += len(local[b])
 		}
+		if total == 0 {
+			return nil
+		}
+		merged := make([]keyedRow, 0, total)
+		for _, local := range perPart {
+			merged = append(merged, local[b]...)
+		}
+		out[b] = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -544,11 +617,11 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 	parts := make([][]pending, e.opts.Partitions)
 	err = e.forEachPartition(e.opts.Partitions, func(part int) error {
 		// Build on the left, probe with the right; outputs ordered by
-		// (right seq, left seq) for determinism.
-		build := make(map[uint64][]keyedRow)
+		// (right seq, left seq) for determinism. Hashes were cached by the
+		// shuffle, so neither side rehashes its keys here.
+		build := make(map[uint64][]keyedRow, len(lb[part]))
 		for _, kr := range lb[part] {
-			h := kr.key.Hash()
-			build[h] = append(build[h], kr)
+			build[kr.hash] = append(build[kr.hash], kr)
 		}
 		matched := make(map[int64]bool)
 		var out []pending
@@ -556,7 +629,7 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 		copy(probe, rb[part])
 		sort.Slice(probe, func(i, j int) bool { return probe[i].seq < probe[j].seq })
 		for _, rkr := range probe {
-			for _, lkr := range build[rkr.key.Hash()] {
+			for _, lkr := range build[rkr.hash] {
 				if compareWidened(lkr.key, rkr.key) != 0 {
 					continue
 				}
@@ -665,7 +738,8 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 			if k.IsNull() {
 				continue
 			}
-			build[k.Hash()] = append(build[k.Hash()], keyedRow{row: r, key: k})
+			h := valueHash(k)
+			build[h] = append(build[h], keyedRow{row: r, key: k, hash: h})
 		}
 	}
 	parts := make([][]pending, len(probeDS.Partitions))
@@ -679,7 +753,7 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 			if k.IsNull() {
 				continue
 			}
-			for _, bkr := range build[k.Hash()] {
+			for _, bkr := range build[valueHash(k)] {
 				if compareWidened(bkr.key, k) != 0 {
 					continue
 				}
@@ -748,7 +822,7 @@ func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 		groups := make(map[uint64][]*group)
 		var order []*group
 		for _, kr := range buckets[part] {
-			h := kr.key.Hash()
+			h := kr.hash // cached by the shuffle; no rehash per row
 			var g *group
 			for _, cand := range groups[h] {
 				if nested.Equal(cand.key, kr.key) {

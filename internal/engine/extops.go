@@ -29,7 +29,7 @@ func (e *executor) execDistinct(o *Op) (*Dataset, error) {
 		byHash := make(map[uint64][]*entry)
 		var order []*entry
 		for _, kr := range buckets[part] {
-			h := kr.key.Hash()
+			h := kr.hash // cached by the shuffle; no rehash per row
 			var found *entry
 			for _, cand := range byHash[h] {
 				if nested.Equal(cand.value, kr.row.Value) {

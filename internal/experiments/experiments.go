@@ -24,8 +24,13 @@ import (
 
 // Config controls the harness.
 type Config struct {
-	// Partitions is the engine parallelism (default 4).
+	// Partitions is the logical data parallelism (default
+	// engine.DefaultPartitions). It fixes identifiers and grouping order,
+	// not the physical fan-out.
 	Partitions int
+	// Workers is the physical worker-goroutine count (0 = NumCPU). Results
+	// are identical for every value; only wall time changes.
+	Workers int
 	// Reps is the number of measured repetitions per data point (default 5);
 	// the paper averages five runs framed by warm-up/cool-down. This harness
 	// reports medians, which resist GC and scheduler spikes better at
@@ -37,7 +42,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Partitions < 1 {
-		c.Partitions = 4
+		c.Partitions = engine.DefaultPartitions
 	}
 	if c.Reps < 1 {
 		c.Reps = 5
@@ -46,7 +51,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) options() engine.Options {
-	return engine.Options{Partitions: c.Partitions}
+	return engine.Options{Partitions: c.Partitions, Workers: c.Workers}
 }
 
 // timeIt measures fn over reps repetitions (plus optional warm-up) and

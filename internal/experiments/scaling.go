@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// ScalingRow is one point of the worker-scaling experiment: capture wall time
+// of a scenario at a fixed logical partitioning as the physical worker count
+// grows. Speedup is relative to the first (smallest) worker count measured
+// for the same scenario.
+type ScalingRow struct {
+	Scenario string        `json:"scenario"`
+	SimGB    int           `json:"sim_gb"`
+	Workers  int           `json:"workers"`
+	Capture  time.Duration `json:"capture_ns"`
+	Speedup  float64       `json:"speedup"`
+}
+
+// Scaling measures capture wall time for the Twitter scenarios (the Fig. 6
+// pipelines) across physical worker counts. Logical partitioning — and with
+// it every identifier and captured association — stays fixed; only the
+// morsel fan-out of schedule.go changes. On a single-core machine the sweep
+// degenerates to overhead measurement of the scheduler itself.
+func Scaling(cfg Config, sweep Sweep, workersList []int) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	if len(workersList) == 0 {
+		workersList = []int{1, 2, 4, runtime.NumCPU()}
+	}
+	gb := 100
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	var rows []ScalingRow
+	for _, sc := range workload.TwitterScenarios() {
+		inputs := sc.Input(scale, cfg.Partitions)
+		var base time.Duration
+		for i, workers := range workersList {
+			opts := cfg.options()
+			opts.Workers = workers
+			d, err := timeIt(cfg, func() error {
+				_, _, err := provenance.Capture(sc.Build(), inputs, opts)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", sc.Name, workers, err)
+			}
+			if i == 0 {
+				base = d
+			}
+			row := ScalingRow{Scenario: sc.Name, SimGB: gb, Workers: workers, Capture: d}
+			if d > 0 {
+				row.Speedup = float64(base) / float64(d)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderScaling renders the worker-scaling sweep.
+func RenderScaling(title string, rows []ScalingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (NumCPU=%d)\n%-4s %6s %8s %14s %8s\n",
+		title, runtime.NumCPU(), "S", "simGB", "workers", "capture", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %6d %8d %14s %7.2fx\n",
+			r.Scenario, r.SimGB, r.Workers, fmtDur(r.Capture), r.Speedup)
+	}
+	return sb.String()
+}

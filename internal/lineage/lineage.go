@@ -44,9 +44,12 @@ type Run struct {
 	order []int
 }
 
-// Collector implements engine.CaptureSink, capturing lineage only.
+// Collector implements engine.CaptureSink, capturing lineage only. As with
+// the structural collector, the per-row methods read-lock the operator
+// registry (the engine starts concurrently executing operators while rows of
+// others still flow) and append to morsel-owned shards without locking.
 type Collector struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	ops   map[int]*opShards
 	order []int
 }
@@ -84,21 +87,29 @@ func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
 	c.order = append(c.order, info.OID)
 }
 
+// shard returns the per-partition shard of an operator; the read lock only
+// covers the registry lookup, appends are morsel-owned.
+func (c *Collector) shard(oid, part int) *shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &c.ops[oid].shards[part]
+}
+
 // SourceRow implements engine.CaptureSink.
 func (c *Collector) SourceRow(oid, part int, id, origID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.source = append(s.source, id)
 }
 
 // Unary implements engine.CaptureSink.
 func (c *Collector) Unary(oid, part int, inID, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.unary = append(s.unary, unaryAssoc{in: inID, out: outID})
 }
 
 // Binary implements engine.CaptureSink.
 func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.binary = append(s.binary, binaryAssoc{left: leftID, right: rightID, out: outID})
 }
 
@@ -107,24 +118,26 @@ func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
 // overhead can increase when flatten operators store positions that lineage
 // solutions do not capture").
 func (c *Collector) FlattenAssoc(oid, part int, inID int64, pos int, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.unary = append(s.unary, unaryAssoc{in: inID, out: outID})
 }
 
 // AggAssoc implements engine.CaptureSink.
 func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	ids := make([]int64, len(inIDs))
 	copy(ids, inIDs)
 	s.agg = append(s.agg, aggAssoc{ins: ids, out: outID})
 }
 
 // Finish merges the shards into an immutable Run; the collector is reusable
-// afterwards.
+// afterwards. Operators are ordered by id so the run is independent of the
+// engine's physical schedule.
 func (c *Collector) Finish() *Run {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	run := &Run{ops: make(map[int]*operator, len(c.ops))}
+	sort.Ints(c.order)
 	for _, oid := range c.order {
 		os := c.ops[oid]
 		o := &operator{oid: os.oid, typ: os.typ, preds: os.preds}

@@ -1,16 +1,20 @@
 package provenance
 
 import (
+	"sort"
 	"sync"
 
 	"pebble/internal/engine"
 )
 
 // Collector implements engine.CaptureSink and assembles a Run. Per-row events
-// append to per-partition shards without locking (each partition is owned by
-// one goroutine during execution); StartOperator takes the collector lock.
+// append to per-partition shards without locking (each partition morsel is
+// owned by one worker during execution); StartOperator takes the write lock,
+// and the per-row methods only read-lock the operator registry — the engine
+// executes independent DAG branches concurrently, so StartOperator for one
+// operator races with per-row events of another.
 type Collector struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	ops   map[int]*opShards
 	order []int
 }
@@ -45,44 +49,58 @@ func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
 	c.order = append(c.order, info.OID)
 }
 
+// shard returns the per-partition shard of an operator. The read lock only
+// protects the registry lookup; the returned shard is owned by the calling
+// partition morsel, so appends to it need no lock.
+func (c *Collector) shard(oid, part int) *shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &c.ops[oid].shards[part]
+}
+
 // SourceRow implements engine.CaptureSink.
 func (c *Collector) SourceRow(oid, part int, id, origID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.source = append(s.source, SourceAssoc{ID: id, OrigID: origID})
 }
 
 // Unary implements engine.CaptureSink.
 func (c *Collector) Unary(oid, part int, inID, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.unary = append(s.unary, UnaryAssoc{In: inID, Out: outID})
 }
 
 // Binary implements engine.CaptureSink.
 func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.binary = append(s.binary, BinaryAssoc{Left: leftID, Right: rightID, Out: outID})
 }
 
 // FlattenAssoc implements engine.CaptureSink.
 func (c *Collector) FlattenAssoc(oid, part int, inID int64, pos int, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	s.flatten = append(s.flatten, FlattenAssoc{In: inID, Pos: pos, Out: outID})
 }
 
 // AggAssoc implements engine.CaptureSink.
 func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
-	s := &c.ops[oid].shards[part]
+	s := c.shard(oid, part)
 	ids := make([]int64, len(inIDs))
 	copy(ids, inIDs)
 	s.agg = append(s.agg, AggAssoc{Ins: ids, Out: outID})
 }
 
 // Finish merges the shards into an immutable Run. The collector can be
-// reused afterwards for a fresh capture.
+// reused afterwards for a fresh capture. Operators are ordered by id — the
+// engine announces concurrently executing DAG branches in schedule order,
+// but the serialized run must not depend on that schedule. Each association
+// slice is allocated at its exact final size before merging, so large runs
+// don't pay repeated append re-allocations.
 func (c *Collector) Finish() *Run {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	run := &Run{ops: make(map[int]*Operator, len(c.ops))}
+	sort.Ints(c.order)
 	for _, oid := range c.order {
 		os := c.ops[oid]
 		op := &Operator{
@@ -91,6 +109,30 @@ func (c *Collector) Finish() *Run {
 			Inputs:         os.info.Inputs,
 			Manipulated:    os.info.Manipulated,
 			ManipUndefined: os.info.ManipUndefined,
+		}
+		var nUnary, nBinary, nFlatten, nAgg, nSource int
+		for _, sh := range os.shards {
+			nUnary += len(sh.unary)
+			nBinary += len(sh.binary)
+			nFlatten += len(sh.flatten)
+			nAgg += len(sh.agg)
+			nSource += len(sh.source)
+		}
+		// Slices stay nil when empty (codec round-trips rely on that).
+		if nUnary > 0 {
+			op.Unary = make([]UnaryAssoc, 0, nUnary)
+		}
+		if nBinary > 0 {
+			op.Binary = make([]BinaryAssoc, 0, nBinary)
+		}
+		if nFlatten > 0 {
+			op.Flatten = make([]FlattenAssoc, 0, nFlatten)
+		}
+		if nAgg > 0 {
+			op.Agg = make([]AggAssoc, 0, nAgg)
+		}
+		if nSource > 0 {
+			op.SourceIDs = make([]SourceAssoc, 0, nSource)
 		}
 		for _, sh := range os.shards {
 			op.Unary = append(op.Unary, sh.unary...)

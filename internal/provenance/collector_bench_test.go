@@ -1,0 +1,47 @@
+package provenance
+
+import (
+	"testing"
+
+	"pebble/internal/engine"
+)
+
+// fillCollector populates a collector with a synthetic run: ops operators,
+// each with parts shards of rowsPerShard associations of every kind. The
+// shape mirrors what a mid-size capture produces, so the benchmark isolates
+// exactly the merge cost of Finish.
+func fillCollector(c *Collector, ops, parts, rowsPerShard int) {
+	for oid := 1; oid <= ops; oid++ {
+		c.StartOperator(engine.OpInfo{OID: oid, Type: engine.OpMap}, parts)
+		for p := 0; p < parts; p++ {
+			for i := 0; i < rowsPerShard; i++ {
+				id := int64(oid*1000000 + p*10000 + i)
+				c.SourceRow(oid, p, id, id)
+				c.Unary(oid, p, id, id+1)
+				c.Binary(oid, p, id, id+1, id+2)
+				c.FlattenAssoc(oid, p, id, i, id+3)
+				c.AggAssoc(oid, p, []int64{id, id + 1}, id+4)
+			}
+		}
+	}
+}
+
+// BenchmarkCollectorFinish measures merging the per-partition shards into an
+// immutable Run. Finish pre-sizes every association slice from the summed
+// shard lengths, so the merge performs one allocation per non-empty kind
+// instead of O(log n) append growths.
+func BenchmarkCollectorFinish(b *testing.B) {
+	const ops, parts, rowsPerShard = 8, 16, 500
+	c := NewCollector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fillCollector(c, ops, parts, rowsPerShard)
+		b.StartTimer()
+		run := c.Finish()
+		if len(run.order) != ops {
+			b.Fatalf("got %d operators, want %d", len(run.order), ops)
+		}
+	}
+}
