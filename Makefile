@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the gate PRs must pass: vet,
 # formatting, and the full suite under the race detector.
 
-.PHONY: build test check bench scaling
+.PHONY: build test check bench scaling soak
 
 build:
 	go build ./...
@@ -19,3 +19,8 @@ bench:
 # EXPERIMENTS.md; numbers are only meaningful on a multi-core machine).
 scaling:
 	go run ./cmd/benchrunner -exp scaling -gb 50 -reps 5 -workers 1,2,4 -out BENCH_PR1.json
+
+# Differential soak: random pipelines under all four capture modes and
+# several worker counts until the time budget runs out (see EXPERIMENTS.md).
+soak:
+	go run ./cmd/oracle -duration 60s

@@ -1,0 +1,61 @@
+// Smoke coverage for the benchmark suite: benchmarks only compile-check
+// under `go test` and their bodies never run, so a broken benchmark slips
+// through the tier-1 gate until someone runs `make bench`. TestBenchSmoke
+// re-executes this test binary with -test.bench and a single iteration,
+// proving every benchmark family still runs end to end.
+package pebble_test
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is slow; skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -test.run=^$ keeps the subprocess from re-running the tests (and this
+	// smoke test); only benchmarks execute, one iteration each.
+	cmd := exec.Command(exe,
+		"-test.run=^$", "-test.bench=.", "-test.benchtime=1x", "-test.timeout=10m")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchmark run failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "PASS") || strings.Contains(s, "--- FAIL") {
+		t.Fatalf("benchmark run did not pass:\n%s", s)
+	}
+	// Every benchmark family of the paper's evaluation must have reported at
+	// least one timing line.
+	for _, name := range []string{
+		"BenchmarkFig6CaptureOverheadTwitter",
+		"BenchmarkFig7CaptureOverheadDBLP",
+		"BenchmarkFig8aProvenanceSizeTwitter",
+		"BenchmarkFig8bProvenanceSizeDBLP",
+		"BenchmarkFig9aQueryTwitter",
+		"BenchmarkFig9bQueryDBLP",
+		"BenchmarkTitianComparison",
+		"BenchmarkPerOperatorOverhead",
+		"BenchmarkBacktraceRunningExample",
+		"BenchmarkAblationCaptureMode",
+		"BenchmarkAblationTracerReuse",
+		"BenchmarkAblationPartitions",
+		"BenchmarkScalingWorkers",
+		"BenchmarkProvenanceCodec",
+	} {
+		if !strings.Contains(s, name) {
+			t.Errorf("benchmark %s produced no output", name)
+		}
+	}
+	if n := len(regexp.MustCompile(`(?m)^Benchmark`).FindAllString(s, -1)); n < 14 {
+		t.Errorf("only %d benchmark timing lines, want >= 14:\n%s", n, s)
+	}
+}

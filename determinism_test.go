@@ -8,9 +8,13 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"pebble/internal/engine"
+	"pebble/internal/lazy"
+	"pebble/internal/lineage"
 	"pebble/internal/nested"
 	"pebble/internal/provenance"
 	"pebble/internal/workload"
@@ -47,6 +51,87 @@ func sameRows(a, b *engine.Dataset) error {
 		}
 	}
 	return nil
+}
+
+// lineageFingerprint captures Titian-style lineage and renders the output
+// rows plus the full-result backtracing join canonically.
+func lineageFingerprint(t *testing.T, sc workload.Scenario, inputs map[string]*engine.Dataset, workers int) string {
+	t.Helper()
+	pipe := sc.Build()
+	opts := engine.Options{Partitions: 4, Workers: workers}
+	res, run, err := lineage.Capture(pipe, inputs, opts)
+	if err != nil {
+		t.Fatalf("lineage workers=%d: %v", workers, err)
+	}
+	var b strings.Builder
+	outIDs := make([]int64, 0, len(res.Output.Rows()))
+	for _, row := range res.Output.Rows() {
+		fmt.Fprintf(&b, "%d:%s\n", row.ID, row.Value)
+		outIDs = append(outIDs, row.ID)
+	}
+	traced, err := run.Trace(pipe.Sink().ID(), outIDs)
+	if err != nil {
+		t.Fatalf("lineage trace workers=%d: %v", workers, err)
+	}
+	oids := make([]int, 0, len(traced))
+	for oid := range traced {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, oid := range oids {
+		fmt.Fprintf(&b, "src %d: %v\n", oid, traced[oid])
+	}
+	return b.String()
+}
+
+// lazyFingerprint answers the scenario's provenance question lazily and
+// renders the per-source contributing structures canonically.
+func lazyFingerprint(t *testing.T, sc workload.Scenario, inputs map[string]*engine.Dataset, workers int) string {
+	t.Helper()
+	opts := engine.Options{Partitions: 4, Workers: workers}
+	res, _, err := lazy.Query(sc.Build, inputs, sc.Pattern, opts)
+	if err != nil {
+		t.Fatalf("lazy workers=%d: %v", workers, err)
+	}
+	oids := make([]int, 0, len(res.BySource))
+	for oid := range res.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	var b strings.Builder
+	for _, oid := range oids {
+		fmt.Fprintf(&b, "src %d:\n", oid)
+		st := res.BySource[oid]
+		for _, it := range st.Items {
+			fmt.Fprintf(&b, "  %d (orig %d): %s\n", it.ID, res.OrigIDs[oid][it.ID], it.Tree)
+		}
+	}
+	return b.String()
+}
+
+// TestLineageAndLazyDeterminismAcrossWorkers extends the eager determinism
+// regression to the other capture modes: Titian-style lineage runs and
+// PROVision-style lazy queries must also be byte-identical for any Workers
+// setting.
+func TestLineageAndLazyDeterminismAcrossWorkers(t *testing.T) {
+	workersList := []int{1, 2, runtime.NumCPU()}
+	scenarios := append(workload.TwitterScenarios(), workload.DBLPScenarios()...)
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			inputs := sc.Input(workload.DefaultScale(1), 4)
+			baseLin := lineageFingerprint(t, sc, inputs, workersList[0])
+			baseLazy := lazyFingerprint(t, sc, inputs, workersList[0])
+			for _, workers := range workersList[1:] {
+				if lin := lineageFingerprint(t, sc, inputs, workers); lin != baseLin {
+					t.Errorf("workers=%d: lineage fingerprint differs from workers=%d", workers, workersList[0])
+				}
+				if lz := lazyFingerprint(t, sc, inputs, workers); lz != baseLazy {
+					t.Errorf("workers=%d: lazy fingerprint differs from workers=%d", workers, workersList[0])
+				}
+			}
+		})
+	}
 }
 
 // TestDeterminismAcrossWorkers runs T1–T5 and D1–D5 with Workers ∈ {1, 2,

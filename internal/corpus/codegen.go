@@ -1,0 +1,168 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"pebble/internal/nested"
+)
+
+// GoSnippet renders the spec as a self-contained runnable Go file that
+// rebuilds the failing pipeline and dataset with the plain engine builder
+// API — no corpus dependency — so a reproducer can be pasted into a
+// regression test and stepped through directly.
+func GoSnippet(s *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Reproducer generated from corpus seed %d.\n", s.Seed)
+	b.WriteString(`package main
+
+import (
+	"fmt"
+
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+	"pebble/internal/treepattern"
+)
+
+func main() {
+`)
+	writeRows(&b, "rows", s.Rows)
+	if len(s.Aux) > 0 {
+		writeRows(&b, "aux", s.Aux)
+	}
+	b.WriteString("\tp := engine.NewPipeline()\n")
+	for i, st := range s.Steps {
+		fmt.Fprintf(&b, "\top%d := %s\n", i, stepCall(st))
+	}
+	fmt.Fprintf(&b, "\tp.SetSink(op%d)\n", s.Sink)
+	b.WriteString("\tgen := engine.NewIDGen(1)\n")
+	b.WriteString("\tinputs := map[string]*engine.Dataset{\n")
+	fmt.Fprintf(&b, "\t\t%q: engine.NewDataset(%q, rows, engine.DefaultPartitions, gen),\n", DatasetIn, DatasetIn)
+	if len(s.Aux) > 0 {
+		fmt.Fprintf(&b, "\t\t%q: engine.NewDataset(%q, aux, engine.DefaultPartitions, gen),\n", DatasetAux, DatasetAux)
+	}
+	b.WriteString("\t}\n")
+	fmt.Fprintf(&b, "\tpattern := %s\n", patternExpr(s.Pattern))
+	b.WriteString(`	res, run, err := provenance.Capture(p, inputs, engine.Options{})
+	if err != nil {
+		panic(err)
+	}
+	_ = pattern
+	fmt.Printf("rows=%d operators=%d\n", len(res.Output.Values()), len(run.Operators()))
+}
+`)
+	return b.String()
+}
+
+func writeRows(b *strings.Builder, name string, rows []nested.Value) {
+	fmt.Fprintf(b, "\t%s := []nested.Value{\n", name)
+	for _, v := range rows {
+		fmt.Fprintf(b, "\t\t%s,\n", valueExpr(v))
+	}
+	b.WriteString("\t}\n")
+}
+
+// valueExpr renders a nested value as a Go constructor expression.
+func valueExpr(v nested.Value) string {
+	switch v.Kind() {
+	case nested.KindInt:
+		i, _ := v.AsInt()
+		return fmt.Sprintf("nested.Int(%d)", i)
+	case nested.KindString:
+		s, _ := v.AsString()
+		return fmt.Sprintf("nested.StringVal(%q)", s)
+	case nested.KindBool:
+		bv, _ := v.AsBool()
+		return fmt.Sprintf("nested.Bool(%v)", bv)
+	case nested.KindBag:
+		parts := make([]string, 0, len(v.Elems()))
+		for _, e := range v.Elems() {
+			parts = append(parts, valueExpr(e))
+		}
+		return "nested.Bag(" + strings.Join(parts, ", ") + ")"
+	case nested.KindItem:
+		parts := make([]string, 0, len(v.Fields()))
+		for _, f := range v.Fields() {
+			parts = append(parts, fmt.Sprintf("nested.F(%q, %s)", f.Name, valueExpr(f.Value)))
+		}
+		return "nested.Item(" + strings.Join(parts, ", ") + ")"
+	default:
+		return "nested.Null()"
+	}
+}
+
+func predExpr(p *Pred) string {
+	if p == nil || p.True {
+		return "engine.LitBool(true)"
+	}
+	lit := fmt.Sprintf("engine.LitInt(%d)", p.Int)
+	if p.IsStr {
+		lit = fmt.Sprintf("engine.LitString(%q)", p.Str)
+	}
+	op := map[string]string{"eq": "Eq", "ne": "Ne", "le": "Le", "gt": "Gt"}[p.Op]
+	if op == "" {
+		return "engine.LitBool(true)"
+	}
+	return fmt.Sprintf("engine.%s(engine.Col(%q), %s)", op, p.Col, lit)
+}
+
+func stepCall(st Step) string {
+	switch st.Op {
+	case StepSource:
+		return fmt.Sprintf("p.Source(%q)", st.Dataset)
+	case StepFilter:
+		return fmt.Sprintf("p.Filter(op%d, %s)", st.In, predExpr(st.Pred))
+	case StepSelect:
+		parts := make([]string, 0, len(st.Fields))
+		for _, f := range st.Fields {
+			parts = append(parts, fmt.Sprintf("engine.Column(%q, %q)", f.Name, f.Col))
+		}
+		return fmt.Sprintf("p.Select(op%d, %s)", st.In, strings.Join(parts, ", "))
+	case StepFlatten:
+		return fmt.Sprintf("p.Flatten(op%d, %q, %q)", st.In, st.FlattenCol, st.FlattenAs)
+	case StepAggregate:
+		return fmt.Sprintf(
+			"p.Aggregate(op%d, []engine.GroupKey{engine.Key(%q)}, []engine.AggSpec{engine.Agg(%q, %q, %q)})",
+			st.In, st.GroupBy, st.AggFn, st.AggIn, st.AggOut)
+	case StepUnion:
+		return fmt.Sprintf("p.Union(op%d, op%d)", st.In, st.In2)
+	case StepJoin:
+		return fmt.Sprintf("p.Join(op%d, op%d, engine.Col(%q), engine.Col(%q))",
+			st.In, st.In2, st.JoinLeftKey, st.JoinRightKey)
+	case StepDistinct:
+		return fmt.Sprintf("p.Distinct(op%d)", st.In)
+	case StepOrderBy:
+		return fmt.Sprintf("p.OrderBy(op%d, %v, engine.Col(%q))", st.In, st.SortDesc, st.SortKey)
+	case StepLimit:
+		return fmt.Sprintf("p.Limit(op%d, %d)", st.In, st.Limit)
+	}
+	return fmt.Sprintf("/* unknown step %q */ nil", st.Op)
+}
+
+func patternExpr(p *PatternSpec) string {
+	if p == nil {
+		return "treepattern.New()"
+	}
+	ctor := "Child"
+	if p.Desc {
+		ctor = "Desc"
+	}
+	expr := fmt.Sprintf("treepattern.%s(%q)", ctor, p.Attr)
+	switch p.Kind {
+	case "eq-int":
+		expr += fmt.Sprintf(".WithEq(nested.Int(%d))", p.Int)
+	case "eq-str":
+		expr += fmt.Sprintf(".WithEq(nested.StringVal(%q))", p.Str)
+	case "contains":
+		expr += fmt.Sprintf(".WithContains(%q)", p.Str)
+	case "lt-int":
+		expr += fmt.Sprintf(".WithLt(nested.Int(%d))", p.Int)
+	case "gt-int":
+		expr += fmt.Sprintf(".WithGt(nested.Int(%d))", p.Int)
+	}
+	if p.MinCount > 0 || p.MaxCount > 0 {
+		expr += fmt.Sprintf(".WithCount(%d, %d)", p.MinCount, p.MaxCount)
+	}
+	return fmt.Sprintf("treepattern.New(%s)", expr)
+}

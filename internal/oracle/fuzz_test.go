@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pebble/internal/corpus"
+	"pebble/internal/engine"
+)
+
+// fuzzConfig keeps per-input cost low: the fuzzer explores many seeds, so
+// two worker counts suffice (the deterministic corpus covers NumCPU).
+func fuzzConfig() Config {
+	return Config{Partitions: 3, Workers: []int{1, 2}}
+}
+
+// FuzzCheckSpec drives the full differential oracle from a fuzzed seed:
+// any disagreement between the four capture modes across worker counts is
+// a crash. Seeded from the committed corpus range.
+func FuzzCheckSpec(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if d := CheckSpec(corpus.Generate(seed), fuzzConfig()); d != nil {
+			t.Fatalf("%v", d)
+		}
+	})
+}
+
+// FuzzSpecJSON feeds arbitrary bytes through the spec codec: inputs that
+// parse must round-trip, rebuild, and execute without panicking; parse
+// failures must be reported as errors, never as crashes.
+func FuzzSpecJSON(f *testing.F) {
+	for _, seed := range []int64{0, 2, 3, 6, 7} {
+		data, err := json.Marshal(corpus.Generate(seed))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s corpus.Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		// Bound the work per input: chained self-unions double multiplicity
+		// per step, so unconstrained fuzzed plans can explode exponentially.
+		if len(s.Steps) > 8 || len(s.Rows) > 100 || len(s.Aux) > 100 {
+			return
+		}
+		p, err := s.Build()
+		if err != nil {
+			return
+		}
+		if _, err := engine.Run(p, s.Inputs(2), engine.Options{Partitions: 2}); err != nil {
+			return
+		}
+		again, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("re-marshal of parsed spec failed: %v", err)
+		}
+		var back corpus.Spec
+		if err := json.Unmarshal(again, &back); err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+	})
+}

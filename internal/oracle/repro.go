@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pebble/internal/corpus"
+)
+
+// WriteRepro persists a (typically shrunk) failing spec under dir as two
+// files: seed-<seed>.json, the replayable spec, and seed-<seed>.go.txt, a
+// self-contained Go snippet rebuilding the pipeline with the plain builder
+// API. It returns the two paths. The disagreement is embedded as a header
+// comment in the snippet and a sibling field in the JSON envelope.
+func WriteRepro(dir string, s *corpus.Spec, d *Disagreement) (jsonPath, goPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	envelope := struct {
+		Kind   string       `json:"kind,omitempty"`
+		Detail string       `json:"detail,omitempty"`
+		Spec   *corpus.Spec `json:"spec"`
+	}{Spec: s}
+	if d != nil {
+		envelope.Kind, envelope.Detail = d.Kind, d.Detail
+	}
+	data, err := json.MarshalIndent(envelope, "", "  ")
+	if err != nil {
+		return "", "", err
+	}
+	jsonPath = filepath.Join(dir, fmt.Sprintf("seed-%d.json", s.Seed))
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return "", "", err
+	}
+	snippet := corpus.GoSnippet(s)
+	if d != nil {
+		snippet = fmt.Sprintf("// Disagreement: %s: %s\n%s", d.Kind, d.Detail, snippet)
+	}
+	goPath = filepath.Join(dir, fmt.Sprintf("seed-%d.go.txt", s.Seed))
+	if err := os.WriteFile(goPath, []byte(snippet), 0o644); err != nil {
+		return "", "", err
+	}
+	return jsonPath, goPath, nil
+}
+
+// ReadRepro loads a spec written by WriteRepro (the JSON form).
+func ReadRepro(path string) (*corpus.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var envelope struct {
+		Spec *corpus.Spec `json:"spec"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return nil, err
+	}
+	if envelope.Spec == nil {
+		return nil, fmt.Errorf("oracle: %s: no spec in envelope", path)
+	}
+	return envelope.Spec, nil
+}

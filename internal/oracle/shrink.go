@@ -1,0 +1,66 @@
+package oracle
+
+import (
+	"pebble/internal/nested"
+
+	"pebble/internal/corpus"
+)
+
+// Shrink reduces a disagreeing spec to a smaller one that still fails with
+// the same disagreement kind, testing/quick-style: first greedily drop
+// pipeline operators (rewiring consumers past the dropped step), then drop
+// input rows with a ddmin-style halving pass over both datasets. It returns
+// the reduced spec and its disagreement; when the input spec does not fail
+// at all, it is returned unchanged with a nil disagreement.
+func Shrink(s *corpus.Spec, cfg Config) (*corpus.Spec, *Disagreement) {
+	d := CheckSpec(s, cfg)
+	if d == nil {
+		return s, nil
+	}
+	kind := d.Kind
+	cur := s
+	// Phase 1: operator dropping to a fixpoint. Dropping a step rewires its
+	// consumers to its input and prunes steps that become unreachable, so
+	// each successful drop strictly shrinks the plan.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Steps); i++ {
+			c, ok := cur.DropStep(i)
+			if !ok {
+				continue
+			}
+			if d2 := CheckSpec(c, cfg); d2 != nil && d2.Kind == kind {
+				cur, d, changed = c, d2, true
+				break
+			}
+		}
+	}
+	// Phase 2: row dropping on the main dataset, then the aux dataset.
+	cur, d = shrinkRows(cur, d, kind, cfg, func(c *corpus.Spec) *[]nested.Value { return &c.Rows })
+	cur, d = shrinkRows(cur, d, kind, cfg, func(c *corpus.Spec) *[]nested.Value { return &c.Aux })
+	return cur, d
+}
+
+// shrinkRows removes chunks of rows (halving the chunk size down to one row)
+// while the disagreement kind is preserved.
+func shrinkRows(s *corpus.Spec, d *Disagreement, kind string, cfg Config,
+	rows func(*corpus.Spec) *[]nested.Value) (*corpus.Spec, *Disagreement) {
+
+	for chunk := len(*rows(s)) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(*rows(s)); {
+			c := s.Clone()
+			r := rows(c)
+			end := start + chunk
+			if end > len(*r) {
+				end = len(*r)
+			}
+			*r = append(append([]nested.Value(nil), (*r)[:start]...), (*r)[end:]...)
+			if d2 := CheckSpec(c, cfg); d2 != nil && d2.Kind == kind {
+				s, d = c, d2 // keep the removal; retry the same offset
+				continue
+			}
+			start += chunk
+		}
+	}
+	return s, d
+}

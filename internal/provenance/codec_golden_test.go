@@ -1,0 +1,111 @@
+package provenance_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite codec golden files under testdata/")
+
+// goldenPipelines are deterministic captures whose serialised form is
+// committed under testdata/*.golden. Together they exercise every
+// association layout the codec knows: SourceIDs (1), Unary (2), Binary (3),
+// Flatten (4), Agg (5), and the empty tag (0) via the ⊥-annotated map.
+// Committed bytes pin the on-disk format: any codec change that silently
+// alters the layout of existing streams fails here before it can strand
+// archived provenance (capture and audit are days apart in practice).
+var goldenPipelines = []struct {
+	name  string
+	parts int
+	build func() *engine.Pipeline
+}{
+	// The paper's Fig. 1 pipeline: filter, select, flatten, union, aggregate.
+	{"example", 3, workload.ExamplePipeline},
+	// Map (A = M = ⊥) and join (binary associations plus input schemas).
+	{"map-join", 2, func() *engine.Pipeline {
+		p := engine.NewPipeline()
+		l := p.Source("tweets.json")
+		m := p.Map(l, engine.MapFunc{Name: "wrap", Fn: func(v nested.Value) (nested.Value, error) {
+			return v, nil
+		}})
+		sel := p.Select(m, engine.Column("a1", "text"))
+		r := p.Source("tweets.json")
+		sel2 := p.Select(r, engine.Column("a2", "text"))
+		p.Join(sel, sel2, engine.Col("a1"), engine.Col("a2"))
+		return p
+	}},
+	// Set/order operators: distinct, order-by, limit.
+	{"ordering", 2, func() *engine.Pipeline {
+		p := engine.NewPipeline()
+		s := p.Source("tweets.json")
+		sel := p.Select(s, engine.Column("text", "text"), engine.Column("name", "user.name"))
+		d := p.Distinct(sel)
+		o := p.OrderBy(d, false, engine.Col("text"))
+		p.Limit(o, 3)
+		return p
+	}},
+}
+
+func goldenBytes(t *testing.T, parts int, build func() *engine.Pipeline) []byte {
+	t.Helper()
+	_, run, err := provenance.Capture(build(), workload.ExampleInput(parts),
+		engine.Options{Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := run.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCodecGoldenFiles compares freshly captured runs against the committed
+// streams byte for byte, then proves decode → re-encode reproduces the
+// committed bytes exactly. Regenerate with:
+//
+//	go test ./internal/provenance -run TestCodecGoldenFiles -update
+func TestCodecGoldenFiles(t *testing.T) {
+	for _, g := range goldenPipelines {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			got := goldenBytes(t, g.parts, g.build)
+			path := filepath.Join("testdata", g.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("captured stream differs from %s (%d vs %d bytes); "+
+					"if the format changed intentionally, bump codecVersion and rerun with -update",
+					path, len(got), len(want))
+			}
+			run, err := provenance.ReadRun(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+			var re bytes.Buffer
+			if _, err := run.WriteTo(&re); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re.Bytes(), want) {
+				t.Errorf("decode → re-encode of %s is not byte-identical (%d vs %d bytes)",
+					path, re.Len(), len(want))
+			}
+		})
+	}
+}

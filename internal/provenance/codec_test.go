@@ -2,6 +2,7 @@ package provenance_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -106,27 +107,77 @@ func TestQueryAfterReload(t *testing.T) {
 	}
 }
 
+// rawStream hand-assembles a codec stream from little-endian primitives so
+// malformed-input cases can corrupt precisely one field.
+type rawStream struct{ bytes.Buffer }
+
+func (s *rawStream) u8(v uint8)   { s.WriteByte(v) }
+func (s *rawStream) u16(v uint16) { s.Write(binary.LittleEndian.AppendUint16(nil, v)) }
+func (s *rawStream) u32(v uint32) { s.Write(binary.LittleEndian.AppendUint32(nil, v)) }
+func (s *rawStream) str(v string) { s.u32(uint32(len(v))); s.WriteString(v) }
+
+// header writes a valid magic + version + op count prefix.
+func (s *rawStream) header(nOps uint32) *rawStream {
+	s.WriteString("PBLP")
+	s.u16(1)
+	s.u32(nOps)
+	return s
+}
+
+// TestCodecRejectsGarbage feeds the decoder a table of corrupted streams —
+// damaged headers plus field-precise corruptions of an otherwise valid
+// operator record — and then every strict prefix of a real captured stream.
+// All must return an error rather than a silently wrong Run.
 func TestCodecRejectsGarbage(t *testing.T) {
-	cases := [][]byte{
-		nil,
-		[]byte("PB"),
-		[]byte("XXXX\x01\x00\x00\x00\x00\x00"),
-		[]byte("PBLP\x63\x00\x00\x00\x00\x00"), // bad version
-	}
-	for i, data := range cases {
-		if _, err := provenance.ReadRun(bytes.NewReader(data)); err == nil {
-			t.Errorf("case %d: garbage accepted", i)
-		}
-	}
-	// Truncated valid stream.
 	_, run := captureExample(t, 1)
 	var buf bytes.Buffer
 	if _, err := run.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	trunc := buf.Bytes()[:buf.Len()/2]
-	if _, err := provenance.ReadRun(bytes.NewReader(trunc)); err == nil {
-		t.Error("truncated stream accepted")
+	valid := buf.Bytes()
+
+	// corrupt returns a copy of the valid stream with one byte overwritten.
+	corrupt := func(off int, b byte) []byte {
+		cp := append([]byte(nil), valid...)
+		cp[off] = b
+		return cp
+	}
+	unknownTag := new(rawStream).header(1)
+	unknownTag.u32(7)        // OID
+	unknownTag.str("filter") // type
+	unknownTag.u8(0)         // ManipUndefined
+	unknownTag.u32(0)        // no inputs
+	unknownTag.u32(0)        // no mappings
+	unknownTag.u8(9)         // association tag 9 does not exist
+	hugeString := new(rawStream).header(1)
+	hugeString.u32(7)
+	hugeString.u32(1 << 21) // type-string length above the decoder's limit
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("PB")},
+		{"wrong magic", corrupt(0, 'X')},
+		{"wrong magic last byte", corrupt(3, 'X')},
+		{"future version", corrupt(4, 0x63)},
+		{"header only", new(rawStream).header(3).Bytes()},
+		{"unknown association tag", unknownTag.Bytes()},
+		{"oversized string length", hugeString.Bytes()},
+	}
+	for _, c := range cases {
+		if _, err := provenance.ReadRun(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: corrupted stream accepted", c.name)
+		}
+	}
+
+	// Every strict prefix of a valid stream truncates some field or record
+	// and must be rejected — the format has no optional trailer.
+	for n := 0; n < len(valid); n++ {
+		if _, err := provenance.ReadRun(bytes.NewReader(valid[:n])); err == nil {
+			t.Fatalf("truncated stream of %d/%d bytes accepted", n, len(valid))
+		}
 	}
 }
 

@@ -1,0 +1,158 @@
+package treepattern_test
+
+import (
+	"testing"
+
+	"pebble/internal/nested"
+	"pebble/internal/path"
+	"pebble/internal/treepattern"
+)
+
+// Edge-case behaviour of tree-pattern matching: empty collections, missing
+// attributes, degenerate count ranges, and non-ASCII string constraints.
+// These pin semantics the corpus generator relies on when it attaches random
+// patterns to generated pipelines.
+
+// itemWithTags builds ⟨id, tags: {{...}}⟩.
+func itemWithTags(tags ...string) nested.Value {
+	elems := make([]nested.Value, len(tags))
+	for i, s := range tags {
+		elems[i] = nested.StringVal(s)
+	}
+	return nested.Item(
+		nested.F("id", nested.Int(1)),
+		nested.F("tags", nested.Bag(elems...)),
+	)
+}
+
+func TestMatchEmptyBag(t *testing.T) {
+	empty := itemWithTags()
+
+	// A node naming the bag attribute itself matches: the (empty) bag value
+	// exists as an attribute of the item.
+	tree, ok := treepattern.New(treepattern.Child("tags")).MatchItem(empty)
+	if !ok {
+		t.Fatal("pattern naming the empty bag attribute must match")
+	}
+	if got := len(tree.Find(path.MustParse("tags"))); got != 1 {
+		t.Errorf("tags nodes = %d, want 1:\n%s", got, tree)
+	}
+
+	// Any pattern that needs an element of the empty bag cannot bind.
+	if _, ok := treepattern.New(
+		treepattern.Child("tags", treepattern.Child("tag")),
+	).MatchItem(empty); ok {
+		t.Error("child pattern bound inside an empty bag")
+	}
+	if _, ok := treepattern.New(
+		treepattern.Desc("tag"),
+	).MatchItem(empty); ok {
+		t.Error("descendant pattern bound inside an empty bag")
+	}
+
+	// Sanity: the same descendant pattern matches once the bag has elements
+	// named via nested items.
+	full := nested.Item(nested.F("tags", nested.Bag(
+		nested.Item(nested.F("tag", nested.StringVal("x"))),
+	)))
+	if _, ok := treepattern.New(treepattern.Desc("tag")).MatchItem(full); !ok {
+		t.Error("descendant pattern missed a populated bag")
+	}
+}
+
+func TestMatchMissingAttribute(t *testing.T) {
+	d := itemWithTags("x", "y")
+	for _, p := range []*treepattern.Pattern{
+		treepattern.New(treepattern.Child("nope")),
+		treepattern.New(treepattern.Desc("nope")),
+		// Present attribute with an absent grandchild.
+		treepattern.New(treepattern.Child("id", treepattern.Child("nope"))),
+	} {
+		if _, ok := p.MatchItem(d); ok {
+			t.Errorf("pattern over missing attribute matched:\n%s", p)
+		}
+	}
+	// The conjunction of a present and a missing attribute fails as a whole.
+	if _, ok := treepattern.New(
+		treepattern.Child("id"),
+		treepattern.Child("nope"),
+	).MatchItem(d); ok {
+		t.Error("conjunction with missing attribute matched")
+	}
+}
+
+// TestMatchCountExact: a [k,k] range (min == max) is an exact-occurrence
+// constraint — one fewer or one more occurrence must both fail.
+func TestMatchCountExact(t *testing.T) {
+	d := itemWithTags("a", "b", "c")
+	pat := func(k int) *treepattern.Pattern {
+		// Desc reaches the string elements of the bag through their parent
+		// attribute name.
+		return treepattern.New(treepattern.Child("tags").WithCount(k, k))
+	}
+	// The tags attribute occurs once at item level.
+	if _, ok := pat(1).MatchItem(d); !ok {
+		t.Error("[1,1] on a single occurrence must match")
+	}
+	if _, ok := pat(2).MatchItem(d); ok {
+		t.Error("[2,2] on a single occurrence must fail")
+	}
+
+	inner := func(k int) *treepattern.Pattern {
+		return treepattern.New(treepattern.Desc("sub").WithCount(k, k))
+	}
+	three := nested.Item(nested.F("subs", nested.Bag(
+		nested.Item(nested.F("sub", nested.StringVal("v"))),
+		nested.Item(nested.F("sub", nested.StringVal("v"))),
+		nested.Item(nested.F("sub", nested.StringVal("v"))),
+	)))
+	if _, ok := inner(3).MatchItem(three); !ok {
+		t.Error("[3,3] on exactly three occurrences must match")
+	}
+	if _, ok := inner(2).MatchItem(three); ok {
+		t.Error("[2,2] on three occurrences must fail (too many)")
+	}
+	if _, ok := inner(4).MatchItem(three); ok {
+		t.Error("[4,4] on three occurrences must fail (too few)")
+	}
+}
+
+// TestMatchUTF8Strings: equality, substring, and range constraints operate
+// on full UTF-8 strings — multi-byte runes are never split and ordering is
+// bytewise lexicographic, so any multi-byte rune sorts after all ASCII.
+func TestMatchUTF8Strings(t *testing.T) {
+	d := nested.Item(
+		nested.F("name", nested.StringVal("héllo wörld")),
+		nested.F("lang", nested.StringVal("日本語")),
+	)
+	match := func(p *treepattern.Pattern) bool {
+		_, ok := p.MatchItem(d)
+		return ok
+	}
+	if !match(treepattern.New(treepattern.Child("lang").WithEq(nested.StringVal("日本語")))) {
+		t.Error("equality on a multi-byte string failed")
+	}
+	if match(treepattern.New(treepattern.Child("lang").WithEq(nested.StringVal("日本")))) {
+		t.Error("equality matched a strict prefix of a multi-byte string")
+	}
+	if !match(treepattern.New(treepattern.Child("name").WithContains("ö"))) {
+		t.Error("contains failed on a multi-byte rune")
+	}
+	if !match(treepattern.New(treepattern.Child("lang").WithContains("本語"))) {
+		t.Error("contains failed on a multi-byte substring")
+	}
+	if match(treepattern.New(treepattern.Child("name").WithContains("日"))) {
+		t.Error("contains matched an absent multi-byte rune")
+	}
+	// Bytewise order: "日本語" > "日本" (strict prefix) and "é" > "z"
+	// (0xC3... > 0x7A), the documented total order for mixed scripts.
+	if !match(treepattern.New(treepattern.Child("lang").WithGt(nested.StringVal("日本")))) {
+		t.Error("Gt failed against a strict prefix")
+	}
+	if !match(treepattern.New(treepattern.Child("lang").WithLt(nested.StringVal("日本꿈")))) {
+		t.Error("Lt failed against a larger multi-byte string")
+	}
+	if !match(treepattern.New(treepattern.Child("lang").WithGt(nested.StringVal("z")))) {
+		t.Error("leading multi-byte rune must sort after ASCII in bytewise order")
+	}
+}
