@@ -1,7 +1,8 @@
-# Developer entry points. `make check` is the gate PRs must pass: vet,
-# formatting, and the full suite under the race detector.
+# Developer entry points. `make check` is the gate PRs must pass: vet (with
+# the pebblevet analyzers), formatting, and the full suite under the race
+# detector.
 
-.PHONY: build test check bench scaling soak
+.PHONY: build test check bench scaling soak pebblevet
 
 build:
 	go build ./...
@@ -9,7 +10,13 @@ build:
 test:
 	go test ./...
 
-check:
+# The project's own static-analysis suite (determinism, capturesound,
+# lockcheck, codecerr — see DESIGN.md). Built once into bin/ so `go vet
+# -vettool` and CI can reuse it.
+pebblevet:
+	go build -o bin/pebblevet ./cmd/pebblevet
+
+check: pebblevet
 	sh scripts/check.sh
 
 bench:

@@ -16,9 +16,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -51,11 +53,26 @@ func main() {
 	case "all":
 		for _, name := range []string{"fig6", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "titian", "perop", "fig10", "annotations", "scaling"} {
 			run(name)
-			fmt.Println()
+			if err := emit("\n"); err != nil {
+				log.Fatalf("writing report: %v", err)
+			}
 		}
 	default:
 		run(*exp)
 	}
+	if err := stdout.Flush(); err != nil {
+		log.Fatalf("writing report: %v", err)
+	}
+}
+
+// stdout buffers the rendered reports; write failures (closed pipe, full
+// disk) must fail the run instead of silently truncating the tables the
+// evaluation baselines are diffed against.
+var stdout = bufio.NewWriter(os.Stdout)
+
+func emit(s string) error {
+	_, err := io.WriteString(stdout, s)
+	return err
 }
 
 // scalingBaseline is the JSON document -out writes: the environment the sweep
@@ -140,65 +157,67 @@ func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPer
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderOverhead("Fig 6 — capture runtime overhead, Twitter T1-T5", rows))
+		return emit(experiments.RenderOverhead("Fig 6 — capture runtime overhead, Twitter T1-T5", rows))
 	case "fig7":
 		rows, err := experiments.Fig7(cfg, sweepFull)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderOverhead("Fig 7 — capture runtime overhead, DBLP D1-D5", rows))
+		return emit(experiments.RenderOverhead("Fig 7 — capture runtime overhead, DBLP D1-D5", rows))
 	case "fig8a":
 		rows, err := experiments.Fig8a(cfg, sweep100)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderSizes("Fig 8(a) — provenance size, Twitter T1-T5 (100 GB)", rows))
+		return emit(experiments.RenderSizes("Fig 8(a) — provenance size, Twitter T1-T5 (100 GB)", rows))
 	case "fig8b":
 		rows, err := experiments.Fig8b(cfg, sweep100)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderSizes("Fig 8(b) — provenance size, DBLP D1-D5 (100 GB)", rows))
+		return emit(experiments.RenderSizes("Fig 8(b) — provenance size, DBLP D1-D5 (100 GB)", rows))
 	case "fig9a":
 		rows, err := experiments.Fig9a(cfg, sweep100)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderQueries("Fig 9(a) — backtracing runtime eager vs lazy, Twitter", rows))
+		return emit(experiments.RenderQueries("Fig 9(a) — backtracing runtime eager vs lazy, Twitter", rows))
 	case "fig9b":
 		rows, err := experiments.Fig9b(cfg, sweep100)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderQueries("Fig 9(b) — backtracing runtime eager vs lazy, DBLP", rows))
+		return emit(experiments.RenderQueries("Fig 9(b) — backtracing runtime eager vs lazy, DBLP", rows))
 	case "titian":
 		rows, err := experiments.TitianComparison(
 			experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB), cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTitian(rows))
+		return emit(experiments.RenderTitian(rows))
 	case "perop":
 		rows, err := experiments.PerOperatorOverhead(
 			experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB), cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderPerOperator(rows))
+		return emit(experiments.RenderPerOperator(rows))
 	case "fig10":
 		out, err := experiments.Fig10(cfg, sweepSmall)
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
+		return emit(out)
 	case "annotations":
 		// The Sec. 2 argument on the running-example data and on one
 		// simulated GB of wide tweets.
-		fmt.Print(experiments.RenderAnnotations(
+		if err := emit(experiments.RenderAnnotations(
 			"Sec 2 — annotations on the Tab. 1 tweets (paper: 35 vs 5)",
-			experiments.AnnotationComparison(workload.ExampleTweets())))
+			experiments.AnnotationComparison(workload.ExampleTweets()))); err != nil {
+			return err
+		}
 		scale := experiments.ScaleFor(1, tweetsPerGB, recordsPerGB)
-		fmt.Print(experiments.RenderAnnotations(
+		return emit(experiments.RenderAnnotations(
 			"Sec 2 — annotations on 1 simulated GB of wide tweets",
 			experiments.AnnotationComparison(workload.GenerateTwitter(scale))))
 	case "scaling":
@@ -206,13 +225,15 @@ func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPer
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderScaling(
-			"Scaling — capture wall time vs physical workers, Twitter T1-T5", rows))
+		if err := emit(experiments.RenderScaling(
+			"Scaling — capture wall time vs physical workers, Twitter T1-T5", rows)); err != nil {
+			return err
+		}
 		if out != "" {
 			if err := writeScalingJSON(out, cfg, rows); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", out)
+			return emit(fmt.Sprintf("wrote %s\n", out))
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)

@@ -40,12 +40,12 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(*out); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	bw := bufio.NewWriter(w)
@@ -54,6 +54,13 @@ func main() {
 	}
 	if err := bw.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	// Close errors surface deferred write failures (full disk, quota); a
+	// silently truncated dataset must fail the generation run.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d %s items\n", len(values), *dataset)
 }

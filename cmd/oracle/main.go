@@ -56,11 +56,13 @@ func main() {
 			if sd != nil {
 				jsonPath, goPath, err := oracle.WriteRepro(*out, shrunk, sd)
 				if err != nil {
+					// Exit distinctly: the disagreement is real but the
+					// reproducer was lost, so the run is not replayable.
 					fmt.Fprintf(os.Stderr, "writing reproducer: %v\n", err)
-				} else {
-					fmt.Fprintf(os.Stderr, "shrunk to %d operators / %d rows; reproducer: %s, %s\n",
-						shrunk.NumOps(), len(shrunk.Rows), jsonPath, goPath)
+					os.Exit(3)
 				}
+				fmt.Fprintf(os.Stderr, "shrunk to %d operators / %d rows; reproducer: %s, %s\n",
+					shrunk.NumOps(), len(shrunk.Rows), jsonPath, goPath)
 			}
 			os.Exit(1)
 		}

@@ -1,0 +1,21 @@
+// Command pebblevet is the repo's static-analysis gate, invoked through the
+// go toolchain:
+//
+//	go build -o bin/pebblevet ./cmd/pebblevet
+//	go vet -vettool=bin/pebblevet ./...
+//
+// It enforces the invariants previous PRs established dynamically —
+// byte-identical results and provenance across worker counts, sound
+// accessed-path reporting (Def. 5.1), collector/scheduler lock discipline,
+// and checked codec errors — as compile-time checks. See DESIGN.md for the
+// suite's scope and the //pebblevet:ignore escape hatch.
+package main
+
+import (
+	"pebble/internal/analysis/suite"
+	"pebble/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(suite.Analyzers()...)
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"pebble"
 	"pebble/internal/engine"
@@ -70,8 +71,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("lineage-style answer (whole tweets only, Sec. 2's light-grey items):")
-	for oid, ids := range traced {
-		for _, id := range ids {
+	oids := make([]int, 0, len(traced))
+	for oid := range traced {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, oid := range oids {
+		for _, id := range traced[oid] {
 			row, _ := lres.Sources[oid].FindByID(id)
 			text, _ := row.Value.Get("text")
 			fmt.Printf("  read %d: %s\n", oid, text)

@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"pebble"
 	"pebble/internal/workload"
@@ -70,7 +71,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntraced from the reloaded provenance:")
-	for oid, s := range traced.BySource {
+	oids := make([]int, 0, len(traced.BySource))
+	for oid := range traced.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, oid := range oids {
+		s := traced.BySource[oid]
 		for _, it := range s.Items {
 			row, _ := cap.Result.Sources[oid].FindByID(it.ID)
 			text, _ := row.Value.Get("text")

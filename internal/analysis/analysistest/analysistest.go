@@ -1,0 +1,300 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixtures themselves,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkg>/*.go      fixture packages, imported by path <pkg>
+//	for k := range m { ... }     // want `regexp matching the diagnostic`
+//
+// A `// want` comment may carry several quoted regexps (Go string or
+// backquote syntax); each must be matched by a distinct diagnostic on that
+// line, and every diagnostic must match some expectation. Fixture imports
+// resolve first against sibling fixture packages (typechecked from source),
+// then against the standard library via export data obtained from one
+// `go list -export -deps -json` invocation — no network, no go/packages.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pebble/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Run analyzes each fixture package (an import path under dir/src) with a
+// and reports expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &loader{
+		srcRoot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		local:   make(map[string]*localPkg),
+		exports: make(map[string]string),
+	}
+	for _, pkg := range pkgs {
+		lp, err := l.load(pkg)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", pkg, err)
+			continue
+		}
+		unit := &analysis.Unit{Fset: l.fset, Files: lp.files, Pkg: lp.pkg, Info: lp.info}
+		findings, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, l.fset, lp.files, findings)
+	}
+}
+
+type localPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	local   map[string]*localPkg
+	exports map[string]string // import path -> export data file (from go list)
+	listed  bool
+}
+
+func (l *loader) load(path string) (*localPkg, error) {
+	if lp, ok := l.local[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.local[path] = nil // cycle marker
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	tc := &types.Config{Importer: importerFunc(l.importPkg)}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &localPkg{files: files, pkg: pkg, info: info}
+	l.local[path] = lp
+	return lp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if !l.listed {
+		if err := l.listExports(); err != nil {
+			return nil, err
+		}
+		l.listed = true
+	}
+	imp := importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+		file, ok := l.exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	})
+	return imp.Import(path)
+}
+
+// listExports resolves every non-fixture import reachable from the fixture
+// tree to its compiled export data, with a single go list invocation.
+func (l *loader) listExports() error {
+	seen := make(map[string]bool)
+	var wanted []string
+	err := filepath.WalkDir(l.srcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), p, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+				continue // fixture-local, typechecked from source
+			}
+			if !seen[ipath] {
+				seen[ipath] = true
+				wanted = append(wanted, ipath)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(wanted) == 0 {
+		return nil
+	}
+	sort.Strings(wanted)
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, wanted...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.srcRoot
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one quoted regexp of a want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s(.*)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					lit, remaining, err := nextString(rest)
+					if err != nil {
+						t.Errorf("%s: bad want comment: %v", posn, err)
+						break
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, lit, err)
+						break
+					}
+					expects = append(expects, &expectation{file: posn.Filename, line: posn.Line, re: re})
+					rest = strings.TrimSpace(remaining)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		posn := fset.Position(f.Diagnostic.Pos)
+		matched := false
+		for _, e := range expects {
+			if !e.used && e.file == posn.Filename && e.line == posn.Line && e.re.MatchString(f.Diagnostic.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, f.Diagnostic.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// nextString pops one leading Go string literal (quoted or backquoted) off s.
+func nextString(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated backquoted string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quoted string")
+	}
+	return "", "", fmt.Errorf("expected string literal, found %q", s)
+}

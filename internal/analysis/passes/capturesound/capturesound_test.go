@@ -1,0 +1,12 @@
+package capturesound_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/capturesound"
+)
+
+func TestCaptureSound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), capturesound.Analyzer, "capturesound")
+}

@@ -1,0 +1,60 @@
+// Fixture for the capturesound analyzer: expression types whose Eval reads
+// attributes their Paths/AccessedPaths method can or cannot report.
+package capturesound
+
+import (
+	"nested"
+	"path"
+)
+
+// colExpr stores its path and reports it. Delegating Paths bodies are beyond
+// static proof, so the analyzer stays silent about the whole type.
+type colExpr struct {
+	p path.Path
+}
+
+func (c colExpr) Eval(d nested.Value) (nested.Value, error) {
+	v, _ := c.p.Eval(d)
+	return v, nil
+}
+
+func (c colExpr) Paths() []path.Path {
+	return []path.Path{c.p}
+}
+
+// scoreExpr reads "score" but reports no paths at all: capture-unsound.
+type scoreExpr struct{}
+
+func (scoreExpr) Eval(d nested.Value) (nested.Value, error) {
+	v, _ := d.Get("score") // want `scoreExpr.Eval reads attribute "score" but scoreExpr.Paths cannot report it`
+	return v, nil
+}
+
+func (scoreExpr) Paths() []path.Path {
+	return nil
+}
+
+// userExpr reads "user" and reports it via a literal constructor: clean.
+type userExpr struct{}
+
+func (userExpr) Eval(d nested.Value) (nested.Value, error) {
+	v, _ := d.Get("user")
+	return v, nil
+}
+
+func (userExpr) Paths() []path.Path {
+	return []path.Path{path.New("user")}
+}
+
+// nameExpr evaluates "user.name" inline but only ever reports "user".
+type nameExpr struct{}
+
+func (nameExpr) Eval(d nested.Value) (nested.Value, error) {
+	p := path.MustParse("user.name") // want `nameExpr.Eval reads attribute "name"`
+	v, _ := p.Eval(d)
+	return v, nil
+}
+
+func (nameExpr) AccessedPaths() []path.Path {
+	return []path.Path{path.MustParse("user")}
+}

@@ -1,0 +1,13 @@
+// Package nested is a fixture stand-in for the engine's nested value model.
+package nested
+
+// Value is a minimal nested record.
+type Value struct {
+	fields map[string]Value
+}
+
+// Get returns the named attribute.
+func (v Value) Get(name string) (Value, bool) {
+	f, ok := v.fields[name]
+	return f, ok
+}

@@ -1,0 +1,40 @@
+// Package path is a fixture stand-in for the repo's access-path package.
+package path
+
+import (
+	"strings"
+
+	"nested"
+)
+
+// Step is one attribute hop.
+type Step struct{ Attr string }
+
+// Path addresses a nested attribute.
+type Path []Step
+
+// New builds a path from attribute names.
+func New(attrs ...string) Path {
+	p := make(Path, 0, len(attrs))
+	for _, a := range attrs {
+		p = append(p, Step{Attr: a})
+	}
+	return p
+}
+
+// MustParse parses a dotted path literal.
+func MustParse(s string) Path {
+	return New(strings.Split(s, ".")...)
+}
+
+// Eval walks the path through v.
+func (p Path) Eval(v nested.Value) (nested.Value, bool) {
+	ok := true
+	for _, st := range p {
+		v, ok = v.Get(st.Attr)
+		if !ok {
+			return v, false
+		}
+	}
+	return v, ok
+}

@@ -1,0 +1,12 @@
+package codecerr_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/codecerr"
+)
+
+func TestCodecErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), codecerr.Analyzer, "codecerr")
+}

@@ -1,0 +1,39 @@
+// Fixture for the codecerr analyzer: discarded encoding/binary errors.
+package codecerr
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+func bad(buf *bytes.Buffer, v uint32) {
+	binary.Write(buf, binary.LittleEndian, v) // want `error returned by binary.Write is discarded`
+}
+
+func badBlank(r *bytes.Reader, v *uint32) {
+	_ = binary.Read(r, binary.LittleEndian, v) // want `error returned by binary.Read is assigned to _`
+}
+
+func badDefer(buf *bytes.Buffer, v uint32) {
+	defer binary.Write(buf, binary.LittleEndian, v) // want `error returned by binary.Write is discarded by defer`
+}
+
+func good(buf *bytes.Buffer, v uint32) error {
+	return binary.Write(buf, binary.LittleEndian, v)
+}
+
+func checked(buf *bytes.Buffer, v uint32) {
+	if err := binary.Write(buf, binary.LittleEndian, v); err != nil {
+		panic(err)
+	}
+}
+
+// fixedWidth uses the error-free fixed-width API: not flagged.
+func fixedWidth(b []byte, v uint32) {
+	binary.LittleEndian.PutUint32(b, v)
+}
+
+func ignored(buf *bytes.Buffer, v uint32) {
+	//pebblevet:ignore codecerr -- fixture: deliberate suppression example
+	binary.Write(buf, binary.LittleEndian, v)
+}

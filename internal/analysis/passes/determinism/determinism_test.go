@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The clock/rand checks are scoped to the repo's identifier-producing
+	// packages; point them at the fixture for the test.
+	def := determinism.Analyzer.Flags.Lookup("idpkgs").DefValue
+	if err := determinism.Analyzer.Flags.Set("idpkgs", "determinism"); err != nil {
+		t.Fatal(err)
+	}
+	defer determinism.Analyzer.Flags.Set("idpkgs", def)
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "determinism")
+}

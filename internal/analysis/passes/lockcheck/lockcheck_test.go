@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "lockcheck")
+}

@@ -1,0 +1,60 @@
+// Fixture for the lockcheck analyzer: the `// guarded by <mu>` field-comment
+// convention and the ways a function may legitimately hold the lock.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+// newCounter touches guarded fields through a function-local value, before
+// the counter is shared: allowed.
+func newCounter() *counter {
+	c := &counter{m: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+func (c *counter) inc(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m[k]++
+}
+
+func (c *counter) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// bad reads a guarded field with no locking at all.
+func (c *counter) bad() int {
+	return c.n // want `counter.n is guarded by mu`
+}
+
+// badWrite mutates the guarded map unlocked, through a parameter.
+func badWrite(c *counter, k string) {
+	c.m[k] = 1 // want `counter.m is guarded by mu`
+}
+
+// sumLocked carries the Locked suffix: callers hold mu.
+func (c *counter) sumLocked() int {
+	total := c.n
+	for _, v := range c.m {
+		total += v
+	}
+	return total
+}
+
+// snapshot copies the table; caller must hold mu.
+func (c *counter) snapshot() map[string]int {
+	out := make(map[string]int, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

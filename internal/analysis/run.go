@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Unit is one parsed and typechecked package, ready for analysis. Both
+// drivers (unitchecker, analysistest) reduce their input to this shape.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Finding pairs a diagnostic with the analyzer that produced it.
+type Finding struct {
+	Analyzer   *Analyzer
+	Diagnostic Diagnostic
+}
+
+// RunAnalyzers executes the analyzers (and their Requires closure) over the
+// unit, filters diagnostics silenced by //pebblevet:ignore directives, and
+// returns the survivors sorted by position then analyzer name. An analyzer
+// returning an error aborts the run.
+func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	if err := Validate(analyzers); err != nil {
+		return nil, err
+	}
+	results := make(map[*Analyzer]interface{})
+	ran := make(map[*Analyzer]bool)
+	var findings []Finding
+
+	var exec func(a *Analyzer) error
+	exec = func(a *Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		inputs := make(map[*Analyzer]interface{}, len(a.Requires))
+		for _, req := range a.Requires {
+			inputs[req] = results[req]
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Pkg,
+			TypesInfo: unit.Info,
+			ResultOf:  inputs,
+			Report: func(d Diagnostic) {
+				if Suppressed(unit.Fset, unit.Files, a.Name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := findings[i].Diagnostic.Pos, findings[j].Diagnostic.Pos
+		if pi != pj {
+			return pi < pj
+		}
+		return findings[i].Analyzer.Name < findings[j].Analyzer.Name
+	})
+	return findings, nil
+}
+
+// NewInfo returns a types.Info with every map the suite's analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

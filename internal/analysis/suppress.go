@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suite supports a narrow, audited escape hatch: a comment of the form
+//
+//	//pebblevet:ignore name1,name2 -- reason
+//
+// on (or immediately above) the offending line suppresses diagnostics of the
+// named analyzers for that line. The reason is mandatory by convention —
+// check.sh reviewers treat a bare ignore as a finding in itself — but the
+// parser only requires the analyzer list. Directives are deliberately
+// line-scoped: there is no file- or package-level opt-out, so every accepted
+// nondeterminism or discarded error stays visible at its use site.
+
+const ignorePrefix = "//pebblevet:ignore"
+
+// ignoredLines returns, per file line, the set of analyzer names suppressed
+// on that line. A directive suppresses its own line and, when it is the only
+// thing on its line, the line below (comment-above style).
+func ignoredLines(fset *token.FileSet, file *ast.File) map[int]map[string]bool {
+	var out map[int]map[string]bool
+	add := func(line int, names []string) {
+		if out == nil {
+			out = make(map[int]map[string]bool)
+		}
+		m := out[line]
+		if m == nil {
+			m = make(map[string]bool)
+			out[line] = m
+		}
+		for _, n := range names {
+			m[n] = true
+		}
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //pebblevet:ignorefoo
+			}
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			var names []string
+			for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				if f != "" {
+					names = append(names, f)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// Cover the directive's own line (trailing-comment style) and the
+			// line below (comment-above style). A trailing directive thus also
+			// covers the next line; that is harmless — suppression is opt-in
+			// per analyzer and reviewed in diffs.
+			add(pos.Line, names)
+			add(pos.Line+1, names)
+		}
+	}
+	return out
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos is
+// silenced by a //pebblevet:ignore directive.
+func Suppressed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	for _, f := range files {
+		if fset.File(f.Pos()) != tf {
+			continue
+		}
+		byLine := ignoredLines(fset, f)
+		if m := byLine[fset.Position(pos).Line]; m != nil && m[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The suite's analyzers enforce production-code invariants; tests may, for
+// example, iterate expectation maps or discard errors deliberately.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}

@@ -313,18 +313,23 @@ func (t *Tree) ApplyMappings(ms []Mapping, oid int) {
 	// Detach all matched nodes first so that mappings cannot observe each
 	// other's results (e.g. swapping renames a→b, b→a).
 	byParent := make(map[*Node][]*Node)
+	var parentOrder []*Node // iteration order: first-detach wins, not map order
 	for _, mv := range moves {
 		parent := mv.node.Parent
 		if parent == nil {
 			continue // root or already detached
 		}
 		parent.removeChild(mv.node)
+		if _, ok := byParent[parent]; !ok {
+			parentOrder = append(parentOrder, parent)
+		}
 		byParent[parent] = append(byParent[parent], mv.node)
 	}
 	// Structural shells emptied by the transplants (e.g. a struct created by
 	// a select whose fields all map back) do not exist in the input schema:
 	// fold their annotations into the moved children and prune them.
-	for parent, movedKids := range byParent {
+	for _, parent := range parentOrder {
+		movedKids := byParent[parent]
 		n := parent
 		for n != nil && n != t.Root && len(n.Children) == 0 {
 			for _, k := range movedKids {

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"go/format"
 	"strings"
 
 	"pebble/internal/nested"
@@ -52,7 +53,15 @@ func main() {
 	fmt.Printf("rows=%d operators=%d\n", len(res.Output.Values()), len(run.Operators()))
 }
 `)
-	return b.String()
+	// Reproducers land in testdata and regression tests verbatim, so they
+	// must be gofmt-clean (alignment of literals depends on their widths). A
+	// failure to format means the template emitted invalid Go; return it raw
+	// so the caller's parse error points at the real problem.
+	src := b.String()
+	if fmtd, err := format.Source([]byte(src)); err == nil {
+		return string(fmtd)
+	}
+	return src
 }
 
 func writeRows(b *strings.Builder, name string, rows []nested.Value) {

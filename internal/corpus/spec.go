@@ -288,19 +288,17 @@ func (s *Spec) AggOutputsReachSink() bool {
 					kept[f.Col] = true
 				}
 			}
-			for name := range in {
-				if !kept[name] {
-					ok = false
-				}
+			// kept ⊆ in by construction, so a dropped alias shows as a
+			// smaller kept set.
+			if len(kept) != len(in) {
+				ok = false
 			}
 			alias[i] = out
 		case StepAggregate:
 			// The aggregate keeps only its group key and its own output:
 			// an upstream aggregate alias survives only as the new AggIn.
-			for name := range alias[st.In] {
-				if name != st.AggIn {
-					ok = false
-				}
+			if in := alias[st.In]; len(in) > 1 || (len(in) == 1 && !in[st.AggIn]) {
+				ok = false
 			}
 			alias[i] = map[string]bool{st.AggOut: true}
 		case StepFlatten:

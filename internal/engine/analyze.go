@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"pebble/internal/nested"
 	"pebble/internal/path"
@@ -46,7 +47,13 @@ func Analyze(p *Pipeline, inputTypes map[string]nested.Type) (map[int]nested.Typ
 func InferInputTypes(inputs map[string]*Dataset) map[string]nested.Type {
 	const inferSampleRows = 200
 	out := make(map[string]nested.Type, len(inputs))
-	for name, d := range inputs {
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := inputs[name]
 		var merged nested.Type
 		have := false
 		n := 0

@@ -136,9 +136,9 @@ type executor struct {
 	pool *workerPool
 	gate *reserveGate
 
-	outMu   sync.RWMutex // guards outputs under concurrent DAG branches
-	outputs map[int]*Dataset
-	resMu   sync.Mutex // guards Result bookkeeping in recordResult
+	outMu   sync.RWMutex     // guards outputs under concurrent DAG branches
+	outputs map[int]*Dataset // guarded by outMu; access via in/setOutput
+	resMu   sync.Mutex       // guards Result bookkeeping in recordResult
 }
 
 // valueHash computes a shuffle key's hash. Indirect so tests can install a

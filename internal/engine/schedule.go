@@ -84,9 +84,9 @@ func (p *workerPool) forEach(n int, f func(i int) error) error {
 type reserveGate struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	done    []bool // 1-based: done[oid] = this operator has taken its turn
-	next    int    // smallest oid that has not taken its turn
-	aborted bool
+	done    []bool // 1-based: done[oid] = this operator has taken its turn; guarded by mu
+	next    int    // smallest oid that has not taken its turn; guarded by mu
+	aborted bool   // guarded by mu
 }
 
 func newReserveGate(nops int) *reserveGate {
@@ -142,12 +142,13 @@ func (g *reserveGate) abort() {
 // reproduce byte for byte.
 func (e *executor) runSequential(p *Pipeline, res *Result) error {
 	for i, o := range p.Ops() {
+		//pebblevet:ignore determinism -- per-op wall-clock stats; never enters results or identifiers
 		start := time.Now()
 		out, err := e.exec(o)
 		if err != nil {
 			return fmt.Errorf("engine: operator %s: %w", o, err)
 		}
-		e.outputs[o.id] = out
+		e.setOutput(o.id, out)
 		e.recordResult(res, i, o, out, time.Since(start))
 	}
 	return nil
@@ -181,6 +182,7 @@ func (e *executor) runDAG(p *Pipeline, res *Result) error {
 	done := make(chan opDone)
 	launch := func(o *Op) {
 		go func() {
+			//pebblevet:ignore determinism -- per-op wall-clock stats; never enters results or identifiers
 			start := time.Now()
 			out, err := o.execBy(e)
 			done <- opDone{o: o, out: out, elapsed: time.Since(start), err: err}

@@ -1,0 +1,48 @@
+package experiments_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pebble/internal/experiments"
+	"pebble/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestRenderAnnotationsGolden pins the rendered annotation report byte for
+// byte: the whole chain — example data, annotation counting, formatting —
+// must be stable across runs, Go versions, and map-iteration orders. Run
+// with -update-golden to regenerate after an intentional format change.
+func TestRenderAnnotationsGolden(t *testing.T) {
+	got := experiments.RenderAnnotations(
+		"Sec 2 — annotations on the Tab. 1 tweets (paper: 35 vs 5)",
+		experiments.AnnotationComparison(workload.ExampleTweets()))
+
+	golden := filepath.Join("testdata", "annotations_example.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered report drifted from golden file %s\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// Byte-stability across repeated in-process runs (a map-order leak shows
+	// up as run-to-run jitter long before it shows up in review).
+	for i := 0; i < 5; i++ {
+		again := experiments.RenderAnnotations(
+			"Sec 2 — annotations on the Tab. 1 tweets (paper: 35 vs 5)",
+			experiments.AnnotationComparison(workload.ExampleTweets()))
+		if again != got {
+			t.Fatalf("run %d produced different bytes", i)
+		}
+	}
+}

@@ -272,7 +272,7 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 	lineageBy := a.lineageBy
 	for _, oid := range unionKeys(fullBy, lineageBy) {
 		eagerSet, linSet := toSet(fullBy[oid]), toSet(lineageBy[oid])
-		for id := range eagerSet {
+		for _, id := range fullBy[oid] {
 			if !linSet[id] {
 				return fail(KindEagerExtra,
 					fmt.Sprintf("source %d: eager traced id %d that lineage did not", oid, id))
@@ -281,7 +281,7 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 		if !strictEager {
 			continue
 		}
-		for id := range linSet {
+		for _, id := range lineageBy[oid] {
 			if !eagerSet[id] {
 				return fail(KindEagerMissed,
 					fmt.Sprintf("source %d: lineage traced id %d that eager did not", oid, id))
@@ -297,7 +297,8 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 	}
 	patBy := make(map[int][]int64, len(tracedPat.BySource))
 	patOrig := make(map[int][]int64, len(tracedPat.BySource))
-	for oid, st := range tracedPat.BySource {
+	for _, oid := range sortedOIDs(tracedPat.BySource) {
+		st := tracedPat.BySource[oid]
 		ids := sortedIDs(st.IDs())
 		patBy[oid] = ids
 		orig, err := toOrigIDs(a.run, oid, ids)
@@ -314,7 +315,8 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 	}
 
 	// Pattern trace ⊆ full trace, per source.
-	for oid, ids := range patBy {
+	for _, oid := range sortedOIDs(patBy) {
+		ids := patBy[oid]
 		fullSet := toSet(fullBy[oid])
 		for _, id := range ids {
 			if !fullSet[id] {
@@ -328,7 +330,8 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 	// forward must reach every result row, except rows whose own structural
 	// provenance is empty (then nothing points at them).
 	reached := map[int64]bool{}
-	for oid, ids := range fullBy {
+	for _, oid := range sortedOIDs(fullBy) {
+		ids := fullBy[oid]
 		if len(ids) == 0 {
 			continue
 		}
@@ -344,7 +347,7 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 	for _, row := range a.res.Output.Rows() {
 		outIDs[row.ID] = true
 	}
-	for id := range reached {
+	for _, id := range sortedIDSet(reached) {
 		if !outIDs[id] {
 			return fail(KindForward, fmt.Sprintf("forward trace reached id %d that is not a result row", id))
 		}
@@ -359,7 +362,8 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 		if err != nil {
 			return fail(KindRun, "row trace: "+err.Error())
 		}
-		for oid, st := range tr.BySource {
+		for _, oid := range sortedOIDs(tr.BySource) {
+			st := tr.BySource[oid]
 			if st.Len() > 0 {
 				return fail(KindForward, fmt.Sprintf(
 					"result row %d has provenance in source %d but no forward path reaches it", row.ID, oid))
@@ -440,6 +444,28 @@ func sortedIDs(ids []int64) []int64 {
 		dedup = append(dedup, id)
 	}
 	return dedup
+}
+
+// sortedOIDs returns the keys of a per-operator map in ascending order, so
+// oracle checks visit sources deterministically and a disagreement always
+// produces the same first-failure message.
+func sortedOIDs[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for oid := range m {
+		out = append(out, oid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedIDSet flattens an id set to an ascending slice.
+func sortedIDSet(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func toSet(ids []int64) map[int64]bool {

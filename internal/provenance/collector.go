@@ -15,8 +15,8 @@ import (
 // operator races with per-row events of another.
 type Collector struct {
 	mu    sync.RWMutex
-	ops   map[int]*opShards
-	order []int
+	ops   map[int]*opShards // guarded by mu
+	order []int             // guarded by mu
 }
 
 type opShards struct {

@@ -88,7 +88,13 @@ func (a *Analysis) attrPerItem(item int64, name string) *AttrStats {
 // needed to map the per-read source identifiers back to the raw input items.
 func (a *Analysis) AddQuery(q *core.QueryResult, run *provenance.Run) {
 	a.Queries++
-	for oid, s := range q.Traced.BySource {
+	oids := make([]int, 0, len(q.Traced.BySource))
+	for oid := range q.Traced.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, oid := range oids {
+		s := q.Traced.BySource[oid]
 		op, ok := run.Op(oid)
 		if !ok {
 			continue

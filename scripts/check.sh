@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go vet -vettool=pebblevet ./..."
+go build -o bin/pebblevet ./cmd/pebblevet
+go vet -vettool=bin/pebblevet ./...
+
 echo "== gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
