@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench scaling soak pebblevet
+.PHONY: build test check bench bench-overhead breakdown scaling soak pebblevet
 
 build:
 	go build ./...
@@ -21,6 +21,17 @@ check: pebblevet
 
 bench:
 	go test -bench . -benchtime 1x ./...
+
+# Observability overhead gate: fails when attaching a metrics recorder to a
+# capture run costs more than 2% (see DESIGN.md §7; CI runs this
+# non-blocking because shared runners are noisy).
+bench-overhead:
+	go run ./cmd/benchrunner -exp overheadgate -gb 50 -reps 5 -gate-pct 2
+
+# Regenerate the per-operator capture breakdown baseline (BENCH_PR4.json,
+# EXPERIMENTS.md).
+breakdown:
+	go run ./cmd/benchrunner -exp breakdown -gb 100 -reps 5 -out BENCH_PR4.json
 
 # Regenerate the worker-scaling baseline (see BENCH_PR1.json and
 # EXPERIMENTS.md; numbers are only meaningful on a multi-core machine).

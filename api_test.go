@@ -2,6 +2,7 @@ package pebble_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,5 +227,110 @@ func TestAnalyzeShim(t *testing.T) {
 	bad.Filter(bad.Source("tweets.json"), pebble.Eq(pebble.Col("tpyo"), pebble.LitInt(1)))
 	if _, err := pebble.Analyze(bad, types); err == nil {
 		t.Error("typo accepted")
+	}
+}
+
+// TestNewSessionCoversEverySessionField is the option-completeness check:
+// constructing a session with every With* option must leave no Session
+// field at its zero value — a new field without a matching option fails
+// here by construction.
+func TestNewSessionCoversEverySessionField(t *testing.T) {
+	s := pebble.NewSession(
+		pebble.WithPartitions(3),
+		pebble.WithWorkers(2),
+		pebble.WithSequential(),
+		pebble.WithAnalyzeFirst(),
+		pebble.WithRecorder(pebble.NewRecorder()),
+	)
+	v := reflect.ValueOf(s)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Errorf("Session field %s has no covering option (still zero after all With* options)",
+				v.Type().Field(i).Name)
+		}
+	}
+	// And the struct-literal path keeps working.
+	lit := pebble.Session{Partitions: 3, Workers: 2, Sequential: true, AnalyzeFirst: true, Recorder: s.Recorder}
+	if lit != s {
+		t.Error("NewSession with all options differs from the equivalent struct literal")
+	}
+}
+
+// TestTraceFromAndOpByID covers the typed query-side entry points plus the
+// deprecated Trace wrapper against the same reloaded run.
+func TestTraceFromAndOpByID(t *testing.T) {
+	inputs := map[string]*pebble.Dataset{
+		"tweets.json": pebble.NewDataset("tweets.json", tab1(), 2),
+	}
+	cap, err := pebble.NewSession(pebble.WithPartitions(2)).Capture(figure1(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cap.Provenance.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := pebble.ReadProvenance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkID := pebble.OpID(cap.Pipeline.Sink().ID())
+	op, ok := run.OpByID(sinkID)
+	if !ok {
+		t.Fatalf("OpByID(%d) not found after reload", sinkID)
+	}
+	if op.ID() != sinkID {
+		t.Errorf("op.ID() = %d, want %d", op.ID(), sinkID)
+	}
+	row := cap.Result.Output.Rows()[0]
+	b := pebble.NewStructure()
+	b.Add(row.ID, pebble.TreeFromValue(row.Value))
+	typed, err := pebble.TraceFrom(run, op, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deprecated, err := pebble.Trace(run, int(sinkID), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(typed.ContributingIDs()) == 0 ||
+		len(typed.ContributingIDs()) != len(deprecated.ContributingIDs()) {
+		t.Errorf("typed trace found %d ids, deprecated %d",
+			len(typed.ContributingIDs()), len(deprecated.ContributingIDs()))
+	}
+	if _, ok := run.OpByID(9999); ok {
+		t.Error("OpByID(9999) resolved a phantom operator")
+	}
+	if _, err := pebble.TraceFrom(run, nil, b); err == nil {
+		t.Error("TraceFrom(nil op) should fail")
+	}
+}
+
+// TestCapturedStatsPublic covers the Stats surface through the root
+// package: recorder-backed snapshot with per-operator counters.
+func TestCapturedStatsPublic(t *testing.T) {
+	rec := pebble.NewRecorder()
+	inputs := map[string]*pebble.Dataset{
+		"tweets.json": pebble.NewDataset("tweets.json", tab1(), 2),
+	}
+	session := pebble.NewSession(pebble.WithPartitions(2), pebble.WithRecorder(rec))
+	cap, err := session.Capture(figure1(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cap.Query(fig4Pattern()); err != nil {
+		t.Fatal(err)
+	}
+	var st *pebble.Stats = cap.Stats()
+	if len(st.Ops) == 0 {
+		t.Fatal("no operator stats recorded")
+	}
+	var first pebble.OpStat = st.Ops[0]
+	if first.Type != "source" {
+		t.Errorf("first operator is %q, want source", first.Type)
+	}
+	out := st.Render(true)
+	if !strings.Contains(out, "pattern_match") || !strings.Contains(out, "backtrace") {
+		t.Errorf("rendered stats missing query spans:\n%s", out)
 	}
 }

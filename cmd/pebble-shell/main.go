@@ -23,6 +23,7 @@ import (
 
 	"pebble/internal/core"
 	"pebble/internal/engine"
+	"pebble/internal/obs"
 	"pebble/internal/shell"
 	"pebble/internal/workload"
 )
@@ -53,7 +54,7 @@ func main() {
 			fmt.Printf("applied optimizations: %v\n", rules)
 		}
 	}
-	session := core.Session{Partitions: *partitions}
+	session := core.NewSession(core.WithPartitions(*partitions), core.WithRecorder(obs.NewRecorder()))
 	fmt.Printf("running %s with capture over %d simulated GB...\n", sc.Name, *gb)
 	cap, err := session.Capture(pipe, sc.Input(scale, *partitions))
 	if err != nil {

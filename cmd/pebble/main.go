@@ -88,7 +88,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	session := core.Session{Partitions: *partitions}
+	session := core.NewSession(core.WithPartitions(*partitions))
 
 	if !*capture && !*query && *patternStr == "" && *saveProv == "" {
 		res, err := session.Run(pipe, inputs)

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	scale := workload.Scale{SimGB: 1, RecordsPerGB: 400, Seed: 42}
-	session := core.Session{Partitions: 4}
+	session := core.NewSession(core.WithPartitions(4))
 	analysis := usage.NewAnalysis()
 
 	fmt.Println("replaying leaked workload D1-D5 with provenance capture...")

@@ -23,7 +23,7 @@ import (
 func main() {
 	inputs := workload.ExampleInput(2)
 	pipe := workload.ExamplePipeline()
-	session := pebble.Session{Partitions: 2}
+	session := pebble.NewSession(pebble.WithPartitions(2))
 
 	cap, err := session.Capture(pipe, inputs)
 	if err != nil {

@@ -28,7 +28,7 @@ func main() {
 	provPath := filepath.Join(dir, "run.pblp")
 
 	// Day 0: the pipeline runs with capture; provenance goes to disk.
-	session := pebble.Session{Partitions: 2}
+	session := pebble.NewSession(pebble.WithPartitions(2))
 	cap, err := session.Capture(workload.ExamplePipeline(), workload.ExampleInput(2))
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +66,11 @@ func main() {
 	// The result dataset (and its annotations) would likewise be stored; here
 	// it is still in memory.
 	b := pattern.Match(cap.Result.Output)
-	traced, err := pebble.Trace(run, cap.Pipeline.Sink().ID(), b)
+	sinkOp, ok := run.OpByID(pebble.OpID(cap.Pipeline.Sink().ID()))
+	if !ok {
+		log.Fatal("sink operator missing from reloaded provenance")
+	}
+	traced, err := pebble.TraceFrom(run, sinkOp, b)
 	if err != nil {
 		log.Fatal(err)
 	}

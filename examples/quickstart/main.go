@@ -21,8 +21,12 @@ func main() {
 		order("o3", "alice", 0, item("mouse", 3, 19.9), item("cable", 5, 4.5)),
 		order("o4", "carol", 0, item("keyboard", 1, 49.9)),
 	}
+	// The session fixes partitioning (and with it identifier assignment);
+	// datasets built through it inherit the partition count, so the two
+	// can never drift apart.
+	session := pebble.NewSession(pebble.WithPartitions(2))
 	inputs := map[string]*pebble.Dataset{
-		"orders": pebble.NewDataset("orders", orders, 2),
+		"orders": session.NewDataset("orders", orders, 0),
 	}
 
 	// Pipeline: keep non-returned orders, explode line items, and collect
@@ -44,7 +48,6 @@ func main() {
 	)
 
 	// Execute with structural provenance capture.
-	session := pebble.Session{Partitions: 2}
 	cap, err := session.Capture(p, inputs)
 	if err != nil {
 		log.Fatal(err)

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	scale := workload.Scale{SimGB: 1, RecordsPerGB: 400, Seed: 42}
-	session := core.Session{Partitions: 4}
+	session := core.NewSession(core.WithPartitions(4))
 	analysis := usage.NewAnalysis()
 	for _, sc := range workload.DBLPScenarios() {
 		cap, err := session.Capture(sc.Build(), sc.Input(scale, 4))

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pebble/internal/engine"
+	"pebble/internal/obs"
 	"pebble/internal/path"
 	"pebble/internal/provenance"
 )
@@ -44,6 +45,16 @@ func Trace(run *provenance.Run, startOID int, b *Structure) (*Result, error) {
 	return NewTracer(run).Trace(startOID, b)
 }
 
+// TraceOp backtraces from a specific captured operator — the typed
+// counterpart of Trace for callers that resolved the operator through
+// provenance.Run.OpByID.
+func TraceOp(run *provenance.Run, op *provenance.Operator, b *Structure) (*Result, error) {
+	if op == nil {
+		return nil, fmt.Errorf("backtrace: nil operator")
+	}
+	return Trace(run, op.OID, b)
+}
+
 // Tracer answers provenance queries over one captured run. It builds the
 // association indexes (output id → association rows) lazily, once per
 // operator, and reuses them across queries — the query-side optimisation the
@@ -55,6 +66,18 @@ func Trace(run *provenance.Run, startOID int, b *Structure) (*Result, error) {
 type Tracer struct {
 	run *provenance.Run
 	idx sync.Map // operator id -> *opIndex
+
+	// rec receives the backtrace-walk span of every query; set it with
+	// Observe before querying (not guarded — written only while idle).
+	rec *obs.Recorder
+}
+
+// Observe attaches a recorder: every Trace reports its walk duration as
+// obs.SpanBacktrace. A nil recorder is fine. Returns the tracer for
+// chaining.
+func (t *Tracer) Observe(rec *obs.Recorder) *Tracer {
+	t.rec = rec
+	return t
 }
 
 // opIndex holds one operator's association indexes, built once on first use.
@@ -83,6 +106,7 @@ func NewTracer(run *provenance.Run) *Tracer {
 
 // Trace runs one provenance query (Alg. 1) against the captured run.
 func (t *Tracer) Trace(startOID int, b *Structure) (*Result, error) {
+	defer t.rec.StartSpan(obs.SpanBacktrace)()
 	q := &tracer{t: t, run: t.run, out: &Result{BySource: make(map[int]*Structure)}}
 	if err := q.trace(startOID, b); err != nil {
 		return nil, err

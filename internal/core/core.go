@@ -16,6 +16,7 @@ import (
 	"pebble/internal/backtrace"
 	"pebble/internal/engine"
 	"pebble/internal/nested"
+	"pebble/internal/obs"
 	"pebble/internal/path"
 	"pebble/internal/provenance"
 	"pebble/internal/treepattern"
@@ -35,6 +36,40 @@ type Session struct {
 	// AnalyzeFirst type-checks the plan against the input schemas before
 	// executing, failing fast on unknown columns and type errors.
 	AnalyzeFirst bool
+	// Recorder, when non-nil, receives per-operator execution metrics and
+	// query-side timing spans for every run of this session. Nil (the
+	// default) disables observability at near-zero cost.
+	Recorder *obs.Recorder
+}
+
+// Option configures a Session built with NewSession.
+type Option func(*Session)
+
+// WithPartitions sets the logical data parallelism (identifier assignment
+// and result order); values < 1 keep the engine default.
+func WithPartitions(n int) Option { return func(s *Session) { s.Partitions = n } }
+
+// WithWorkers sets the physical worker-goroutine count (0 = NumCPU).
+func WithWorkers(n int) Option { return func(s *Session) { s.Workers = n } }
+
+// WithSequential disables goroutine parallelism.
+func WithSequential() Option { return func(s *Session) { s.Sequential = true } }
+
+// WithAnalyzeFirst enables plan type-checking before every execution.
+func WithAnalyzeFirst() Option { return func(s *Session) { s.AnalyzeFirst = true } }
+
+// WithRecorder attaches an observability recorder to the session.
+func WithRecorder(rec *obs.Recorder) Option { return func(s *Session) { s.Recorder = rec } }
+
+// NewSession builds a session from functional options; a bare
+// NewSession() is a ready-to-use default session. The zero Session struct
+// literal remains equivalent and supported.
+func NewSession(opts ...Option) Session {
+	var s Session
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
 }
 
 func (s Session) options() engine.Options {
@@ -42,7 +77,23 @@ func (s Session) options() engine.Options {
 	if parts < 1 {
 		parts = engine.DefaultPartitions
 	}
-	return engine.Options{Partitions: parts, Workers: s.Workers, Sequential: s.Sequential}
+	return engine.Options{Partitions: parts, Workers: s.Workers, Sequential: s.Sequential, Recorder: s.Recorder}
+}
+
+// NewDataset partitions values into the session's logical partition count,
+// assigning each row a unique provenance identifier. parts <= 0 inherits
+// Session.Partitions (which itself defaults to engine.DefaultPartitions);
+// an explicit positive parts overrides the session. Datasets and sessions
+// must agree on the partition count for byte-identical reproducible runs,
+// so prefer this over hand-picking counts per dataset.
+func (s Session) NewDataset(name string, values []nested.Value, parts int) *engine.Dataset {
+	if parts <= 0 {
+		parts = s.Partitions
+	}
+	if parts <= 0 {
+		parts = engine.DefaultPartitions
+	}
+	return engine.NewDataset(name, values, parts, engine.NewIDGen(1))
 }
 
 // Captured is a pipeline execution with its structural provenance, ready for
@@ -54,14 +105,42 @@ type Captured struct {
 
 	tracerOnce sync.Once
 	tracer     *backtrace.Tracer
+
+	// rec is the session recorder active when the capture ran; queries on
+	// this capture report their match and backtrace spans into it.
+	rec *obs.Recorder
 }
 
 // Tracer returns the query tracer over the captured provenance; its
 // association indexes are built lazily and shared across all queries on this
 // capture.
 func (c *Captured) Tracer() *backtrace.Tracer {
-	c.tracerOnce.Do(func() { c.tracer = backtrace.NewTracer(c.Provenance) })
+	c.tracerOnce.Do(func() { c.tracer = backtrace.NewTracer(c.Provenance).Observe(c.rec) })
 	return c.tracer
+}
+
+// Stats returns the observability snapshot for this capture. With a session
+// recorder attached it is the full per-operator counter and span report;
+// without one a reduced view is synthesised from the engine's per-operator
+// row counts and timings plus the provenance footprint, so Stats never
+// returns nil.
+func (c *Captured) Stats() *obs.Stats {
+	if c.rec != nil {
+		return c.rec.Snapshot()
+	}
+	st := &obs.Stats{}
+	for _, os := range c.Result.Stats {
+		op := obs.OpStat{OID: os.OID, Type: string(os.Type), Elapsed: os.Elapsed}
+		op.Counters[obs.RowsOut] = int64(os.Rows)
+		if c.Provenance != nil {
+			if pop, ok := c.Provenance.Op(os.OID); ok {
+				op.Counters[obs.AssocRows] = int64(pop.AssocCount())
+				op.Counters[obs.ProvBytes] = pop.Sizes().Total()
+			}
+		}
+		st.Ops = append(st.Ops, op)
+	}
+	return st
 }
 
 // Run executes the pipeline without provenance capture (plain Spark
@@ -90,7 +169,7 @@ func (s Session) Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset) 
 	if err != nil {
 		return nil, err
 	}
-	return &Captured{Pipeline: p, Result: res, Provenance: run}, nil
+	return &Captured{Pipeline: p, Result: res, Provenance: run, rec: s.Recorder}, nil
 }
 
 // QueryResult is the answer to one structural provenance question.
@@ -108,13 +187,29 @@ type QueryResult struct {
 // Query matches the tree-pattern against the captured result and backtraces
 // the matches to the inputs (Alg. 1 over the captured operator provenance).
 func (c *Captured) Query(pattern *treepattern.Pattern) (*QueryResult, error) {
-	matched := pattern.Match(c.Result.Output)
+	matched := pattern.MatchObserved(c.Result.Output, c.rec)
 	return c.QueryStructure(matched)
 }
 
 // QueryStructure backtraces an explicitly built backtracing structure.
 func (c *Captured) QueryStructure(b *backtrace.Structure) (*QueryResult, error) {
-	traced, err := c.Tracer().Trace(c.Pipeline.Sink().ID(), b)
+	sink, ok := c.Provenance.OpByID(provenance.OpID(c.Pipeline.Sink().ID()))
+	if !ok {
+		return nil, fmt.Errorf("core: sink operator %d missing from captured provenance", c.Pipeline.Sink().ID())
+	}
+	return c.TraceAt(sink, b)
+}
+
+// TraceAt backtraces a structure from a specific captured operator — the
+// typed replacement for the free Trace(run, startOID, b) helper. Resolve
+// the operator with c.Provenance.OpByID (or Operators()); tracing from an
+// intermediate operator answers "which inputs fed *this* stage" instead of
+// the sink's full result.
+func (c *Captured) TraceAt(op *provenance.Operator, b *backtrace.Structure) (*QueryResult, error) {
+	if op == nil {
+		return nil, fmt.Errorf("core: TraceAt on nil operator")
+	}
+	traced, err := c.Tracer().Trace(op.OID, b)
 	if err != nil {
 		return nil, err
 	}

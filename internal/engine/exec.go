@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pebble/internal/nested"
+	"pebble/internal/obs"
 )
 
 // DefaultPartitions is the default logical-partition count. Logical
@@ -46,6 +47,11 @@ type Options struct {
 	// broadcast the smaller side instead of shuffling both. 0 uses the
 	// default (2000); negative disables broadcast joins.
 	BroadcastJoinThreshold int
+	// Recorder, when non-nil, collects per-operator execution metrics and
+	// phase spans (see internal/obs). nil disables observability; the
+	// recording call sites are bulk (per partition morsel), so the disabled
+	// path costs only predictable nil checks.
+	Recorder *obs.Recorder
 }
 
 // OpStats reports per-operator execution metrics.
@@ -101,6 +107,7 @@ func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error)
 	if gen == nil {
 		gen = NewIDGen(1)
 	}
+	defer opts.Recorder.StartSpan(obs.SpanSchedule)()
 	ex := &executor{opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset, len(p.Ops()))}
 	res := &Result{Sources: make(map[int]*Dataset)}
 	if opts.KeepIntermediates {
@@ -280,6 +287,12 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 			id++
 		}
 		partitions[part] = rows
+		if rec := e.opts.Recorder; rec != nil {
+			rec.Add(oid, part, obs.RowsOut, int64(len(parts[part])))
+			if e.opts.Sink != nil {
+				rec.Add(oid, part, obs.AssocRows, assocRowCount(parts[part], kind))
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -288,7 +301,22 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 	return &Dataset{Partitions: partitions}, nil
 }
 
+// assocRowCount counts the association rows finalize emits for one
+// partition: one per pending row, except the multi-unary layout (distinct),
+// which emits one unary association per collapsed input id.
+func assocRowCount(rows []pending, kind assocKind) int64 {
+	if kind != assocMultiUnary {
+		return int64(len(rows))
+	}
+	var n int64
+	for _, pr := range rows {
+		n += int64(len(pr.inIDs))
+	}
+	return n
+}
+
 func (e *executor) startOperator(o *Op, parts int, leftSchema, rightSchema []string, sample nested.Value) {
+	e.opts.Recorder.StartOp(o.id, string(o.typ), parts)
 	if e.opts.Sink != nil {
 		e.opts.Sink.StartOperator(opInfo(o, leftSchema, rightSchema, sample), parts)
 	}
@@ -332,6 +360,14 @@ func (e *executor) execSource(o *Op) (*Dataset, error) {
 			id++
 		}
 		partitions[part] = rows
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(in.Partitions[part]))
+			rec.Add(o.id, part, obs.RowsIn, n)
+			rec.Add(o.id, part, obs.RowsOut, n)
+			if e.opts.Sink != nil {
+				rec.Add(o.id, part, obs.AssocRows, n)
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -360,6 +396,11 @@ func (e *executor) execFilter(o *Op) (*Dataset, error) {
 			}
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(in.Partitions[part]))
+			rec.Add(o.id, part, obs.RowsIn, n)
+			rec.Add(o.id, part, obs.ExprEvals, n*int64(EvalOps(o.pred)))
+		}
 		return nil
 	})
 	if err != nil {
@@ -382,12 +423,35 @@ func (e *executor) execSelect(o *Op) (*Dataset, error) {
 			out = append(out, pending{value: item, in1: r.ID})
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(in.Partitions[part]))
+			rec.Add(o.id, part, obs.RowsIn, n)
+			rec.Add(o.id, part, obs.ExprEvals, n*int64(selectEvalOps(o.fields)))
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return e.finalize(o.id, parts, assocUnary)
+}
+
+// selectEvalOps is the static per-row expression cost of a select: one node
+// per column read, the full node count of computed expressions, recursing
+// into nested struct fields.
+func selectEvalOps(fields []SelectField) int {
+	n := 0
+	for _, f := range fields {
+		switch {
+		case len(f.Col) > 0:
+			n++
+		case len(f.Struct) > 0:
+			n += selectEvalOps(f.Struct)
+		case f.Expr != nil:
+			n += EvalOps(f.Expr)
+		}
+	}
+	return n
 }
 
 func evalSelect(fields []SelectField, d nested.Value) (nested.Value, error) {
@@ -436,6 +500,9 @@ func (e *executor) execMap(o *Op) (*Dataset, error) {
 			out = append(out, pending{value: v, in1: r.ID})
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			rec.Add(o.id, part, obs.RowsIn, int64(len(in.Partitions[part])))
+		}
 		return nil
 	})
 	if err != nil {
@@ -464,6 +531,11 @@ func (e *executor) execFlatten(o *Op) (*Dataset, error) {
 			}
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(in.Partitions[part]))
+			rec.Add(o.id, part, obs.RowsIn, n)
+			rec.Add(o.id, part, obs.ExprEvals, n) // one path eval per row
+		}
 		return nil
 	})
 	if err != nil {
@@ -501,6 +573,9 @@ func (e *executor) execUnion(o *Op) (*Dataset, error) {
 			out = append(out, p)
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			rec.Add(o.id, part, obs.RowsIn, int64(len(src)))
+		}
 		return nil
 	})
 	if err != nil {
@@ -530,7 +605,10 @@ type keyedRow struct {
 // Rows with null keys are dropped (they can never match an equi-join and
 // SQL group-by treats them as their own group — callers that need null
 // groups pass keepNull).
-func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, error), buckets int, keepNull bool) ([][]keyedRow, error) {
+//
+// oid and keyOps feed the recorder: rows in, keys hashed, and the static
+// per-row expression cost of the key function.
+func (e *executor) shuffle(d *Dataset, oid int, key func(nested.Value) (nested.Value, error), keyOps int, buckets int, keepNull bool) ([][]keyedRow, error) {
 	perPart := make([][][]keyedRow, len(d.Partitions))
 	// Global sequence numbers: partition-major.
 	starts := make([]int, len(d.Partitions))
@@ -541,6 +619,7 @@ func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, err
 	}
 	err := e.forEachPartition(len(d.Partitions), func(part int) error {
 		local := make([][]keyedRow, buckets)
+		hashed := 0
 		for i, r := range d.Partitions[part] {
 			k, err := key(r.Value)
 			if err != nil {
@@ -550,10 +629,17 @@ func (e *executor) shuffle(d *Dataset, key func(nested.Value) (nested.Value, err
 				continue
 			}
 			h := valueHash(k)
+			hashed++
 			b := int(h % uint64(buckets))
 			local[b] = append(local[b], keyedRow{row: r, key: k, hash: h, seq: starts[part] + i})
 		}
 		perPart[part] = local
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(d.Partitions[part]))
+			rec.Add(oid, part, obs.RowsIn, n)
+			rec.Add(oid, part, obs.KeysHashed, int64(hashed))
+			rec.Add(oid, part, obs.ExprEvals, n*int64(keyOps))
+		}
 		return nil
 	})
 	if err != nil {
@@ -605,11 +691,11 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 		nParts += len(left.Partitions)
 	}
 	e.startOperator(o, nParts, topLevelSchema(left), topLevelSchema(right), nested.Null())
-	lb, err := e.shuffle(left, o.leftKey.Eval, e.opts.Partitions, false)
+	lb, err := e.shuffle(left, o.id, o.leftKey.Eval, EvalOps(o.leftKey), e.opts.Partitions, false)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := e.shuffle(right, o.rightKey.Eval, e.opts.Partitions, false)
+	rb, err := e.shuffle(right, o.id, o.rightKey.Eval, EvalOps(o.rightKey), e.opts.Partitions, false)
 	if err != nil {
 		return nil, err
 	}
@@ -729,6 +815,7 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 	e.startOperator(o, len(probeDS.Partitions), topLevelSchema(left), topLevelSchema(right), nested.Null())
 	// Build once, sequentially (the build side is small by construction).
 	build := make(map[uint64][]keyedRow)
+	buildHashed := 0
 	for _, p := range buildDS.Partitions {
 		for _, r := range p {
 			k, err := buildKey.Eval(r.Value)
@@ -739,12 +826,21 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 				continue
 			}
 			h := valueHash(k)
+			buildHashed++
 			build[h] = append(build[h], keyedRow{row: r, key: k, hash: h})
 		}
 	}
+	if rec := e.opts.Recorder; rec != nil {
+		n := int64(buildDS.Len())
+		rec.Add(o.id, 0, obs.RowsIn, n)
+		rec.Add(o.id, 0, obs.KeysHashed, int64(buildHashed))
+		rec.Add(o.id, 0, obs.ExprEvals, n*int64(EvalOps(buildKey)))
+	}
+	probeKeyOps := EvalOps(probeKey)
 	parts := make([][]pending, len(probeDS.Partitions))
 	err := e.forEachPartition(len(probeDS.Partitions), func(part int) error {
 		var out []pending
+		probeHashed := 0
 		for _, r := range probeDS.Partitions[part] {
 			k, err := probeKey.Eval(r.Value)
 			if err != nil {
@@ -753,6 +849,7 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 			if k.IsNull() {
 				continue
 			}
+			probeHashed++
 			for _, bkr := range build[valueHash(k)] {
 				if compareWidened(bkr.key, k) != 0 {
 					continue
@@ -769,6 +866,12 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 			}
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			n := int64(len(probeDS.Partitions[part]))
+			rec.Add(o.id, part, obs.RowsIn, n)
+			rec.Add(o.id, part, obs.KeysHashed, int64(probeHashed))
+			rec.Add(o.id, part, obs.ExprEvals, n*int64(probeKeyOps))
+		}
 		return nil
 	})
 	if err != nil {
@@ -808,7 +911,7 @@ func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 		}
 		return nested.Item(fields...), nil
 	}
-	buckets, err := e.shuffle(in, keyFn, e.opts.Partitions, true)
+	buckets, err := e.shuffle(in, o.id, keyFn, len(o.groupBy), e.opts.Partitions, true)
 	if err != nil {
 		return nil, err
 	}
@@ -864,6 +967,17 @@ func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 			out = append(out, pending{value: nested.Item(fields...), inIDs: ids})
 		}
 		parts[part] = out
+		if rec := e.opts.Recorder; rec != nil {
+			// Each aggregation spec with an input path evaluates it once per
+			// grouped row.
+			nIns := 0
+			for _, spec := range o.aggs {
+				if len(spec.In) > 0 {
+					nIns++
+				}
+			}
+			rec.Add(o.id, part, obs.ExprEvals, int64(len(buckets[part]))*int64(nIns))
+		}
 		return nil
 	})
 	if err != nil {

@@ -284,3 +284,33 @@ func (l lenExpr) Eval(d nested.Value) (nested.Value, error) {
 
 func (l lenExpr) Paths() []path.Path { return l.e.Paths() }
 func (l lenExpr) String() string     { return fmt.Sprintf("len(%s)", l.e) }
+
+// EvalOps reports the static node count of an expression — how many
+// expression nodes one Eval visits, ignoring short-circuiting (so it is an
+// upper bound for And/Or). The executor multiplies it by the row count to
+// attribute bulk expression-evaluation work to operators in the recorder
+// (obs.ExprEvals) without touching the per-row hot path. Unknown
+// (externally implemented) expressions count as one node.
+func EvalOps(e Expr) int {
+	switch x := e.(type) {
+	case colExpr, litExpr:
+		return 1
+	case cmpExpr:
+		return 1 + EvalOps(x.l) + EvalOps(x.r)
+	case boolExpr:
+		n := 1
+		for _, op := range x.operands {
+			n += EvalOps(op)
+		}
+		return n
+	case notExpr:
+		return 1 + EvalOps(x.e)
+	case containsExpr:
+		return 1 + EvalOps(x.str) + EvalOps(x.substr)
+	case isNullExpr:
+		return 1 + EvalOps(x.e)
+	case lenExpr:
+		return 1 + EvalOps(x.e)
+	}
+	return 1
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pebble/internal/nested"
+	"pebble/internal/obs"
 )
 
 // This file implements the extension operators beyond the paper's Sec. 5
@@ -14,8 +15,8 @@ import (
 func (e *executor) execDistinct(o *Op) (*Dataset, error) {
 	in := e.in(o, 0)
 	e.startOperator(o, e.opts.Partitions, nil, nil, nested.Null())
-	buckets, err := e.shuffle(in, func(v nested.Value) (nested.Value, error) { return v, nil },
-		e.opts.Partitions, true)
+	buckets, err := e.shuffle(in, o.id, func(v nested.Value) (nested.Value, error) { return v, nil },
+		0, e.opts.Partitions, true)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +72,14 @@ func (e *executor) execOrderBy(o *Op) (*Dataset, error) {
 		seq  int
 	}
 	rows := in.Rows()
+	if rec := e.opts.Recorder; rec != nil {
+		sortOps := 0
+		for _, k := range o.sortKeys {
+			sortOps += EvalOps(k)
+		}
+		rec.Add(o.id, 0, obs.RowsIn, int64(len(rows)))
+		rec.Add(o.id, 0, obs.ExprEvals, int64(len(rows))*int64(sortOps))
+	}
 	sorted := make([]keyedSortRow, len(rows))
 	for i, r := range rows {
 		keys := make([]nested.Value, len(o.sortKeys))
@@ -108,6 +117,7 @@ func (e *executor) execLimit(o *Op) (*Dataset, error) {
 	in := e.in(o, 0)
 	e.startOperator(o, e.opts.Partitions, nil, nil, nested.Null())
 	rows := in.Rows()
+	e.opts.Recorder.Add(o.id, 0, obs.RowsIn, int64(len(rows)))
 	n := o.limit
 	if n < 0 {
 		n = 0

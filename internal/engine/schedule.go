@@ -237,6 +237,7 @@ func (o *Op) execBy(e *executor) (*Dataset, error) { return e.exec(o) }
 // Stats are indexed by plan position, so their order is deterministic no
 // matter which schedule produced them.
 func (e *executor) recordResult(res *Result, planPos int, o *Op, out *Dataset, elapsed time.Duration) {
+	e.opts.Recorder.AddOpTime(o.id, elapsed)
 	e.resMu.Lock()
 	defer e.resMu.Unlock()
 	if res.Stats == nil || len(res.Stats) <= planPos {

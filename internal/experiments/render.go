@@ -168,7 +168,7 @@ func Fig10(cfg Config, sweep Sweep) (string, error) {
 		gb = sweep.SimGBs[0]
 	}
 	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
-	session := core.Session{Partitions: cfg.Partitions}
+	session := core.NewSession(core.WithPartitions(cfg.Partitions))
 	analysis := usage.NewAnalysis()
 	for _, sc := range workload.DBLPScenarios() {
 		cap, err := session.Capture(sc.Build(), sc.Input(scale, cfg.Partitions))

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"pebble/internal/engine"
+	"pebble/internal/obs"
 	"pebble/internal/path"
 )
 
@@ -26,8 +27,19 @@ const (
 
 // WriteTo serialises the run.
 func (r *Run) WriteTo(w io.Writer) (int64, error) {
+	return r.writeTo(w, nil)
+}
+
+// WriteToObserved serialises like WriteTo and additionally records every
+// operator's encoded byte count into the recorder (obs.BytesEncoded) — the
+// codec-level counterpart of the model-level ProvBytes counter.
+func (r *Run) WriteToObserved(w io.Writer, rec *obs.Recorder) (int64, error) {
+	return r.writeTo(w, rec)
+}
+
+func (r *Run) writeTo(w io.Writer, rec *obs.Recorder) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if err := r.encode(cw); err != nil {
+	if err := r.encode(cw, rec); err != nil {
 		return cw.n, err
 	}
 	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
@@ -47,13 +59,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (r *Run) encode(w io.Writer) error {
-	e := &encoder{w: w}
+func (r *Run) encode(cw *countingWriter, rec *obs.Recorder) error {
+	e := &encoder{w: cw}
 	e.bytes([]byte(codecMagic))
 	e.u16(codecVersion)
 	e.u32(uint32(len(r.order)))
 	for _, oid := range r.order {
 		op := r.ops[oid]
+		opStart := cw.n
 		e.u32(uint32(op.OID))
 		e.str(string(op.Type))
 		e.bool(op.ManipUndefined)
@@ -121,6 +134,9 @@ func (r *Run) encode(w io.Writer) error {
 			}
 		default:
 			e.u8(0)
+		}
+		if e.err == nil {
+			rec.Add(op.OID, 0, obs.BytesEncoded, cw.n-opStart)
 		}
 	}
 	return e.err

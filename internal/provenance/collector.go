@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pebble/internal/engine"
+	"pebble/internal/obs"
 )
 
 // Collector implements engine.CaptureSink and assembles a Run. Per-row events
@@ -17,6 +18,11 @@ type Collector struct {
 	mu    sync.RWMutex
 	ops   map[int]*opShards // guarded by mu
 	order []int             // guarded by mu
+
+	// rec receives the Finish span and per-operator provenance-size
+	// counters; set it with Observe before the run starts (not guarded —
+	// written only while the collector is idle).
+	rec *obs.Recorder
 }
 
 type opShards struct {
@@ -37,6 +43,11 @@ type shard struct {
 func NewCollector() *Collector {
 	return &Collector{ops: make(map[int]*opShards)}
 }
+
+// Observe attaches a recorder: Finish reports its merge time as a span and
+// the per-operator provenance footprint (the deterministic Sizes model) as
+// counters. Call before the capture run starts; a nil recorder is fine.
+func (c *Collector) Observe(rec *obs.Recorder) { c.rec = rec }
 
 // StartOperator implements engine.CaptureSink.
 func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
@@ -97,6 +108,7 @@ func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
 // slice is allocated at its exact final size before merging, so large runs
 // don't pay repeated append re-allocations.
 func (c *Collector) Finish() *Run {
+	defer c.rec.StartSpan(obs.SpanCollectorFinish)()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	run := &Run{ops: make(map[int]*Operator, len(c.ops))}
@@ -143,6 +155,7 @@ func (c *Collector) Finish() *Run {
 		}
 		run.ops[oid] = op
 		run.order = append(run.order, oid)
+		c.rec.Add(oid, 0, obs.ProvBytes, op.Sizes().Total())
 	}
 	c.ops = make(map[int]*opShards)
 	c.order = nil
@@ -151,8 +164,11 @@ func (c *Collector) Finish() *Run {
 
 // Capture is a convenience wrapper: it runs the pipeline with a fresh
 // collector and returns both the execution result and the captured run.
+// When opts.Recorder is set, the collector reports its Finish span and
+// per-operator provenance footprints into it.
 func Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset, opts engine.Options) (*engine.Result, *Run, error) {
 	c := NewCollector()
+	c.Observe(opts.Recorder)
 	opts.Sink = c
 	res, err := engine.Run(p, inputs, opts)
 	if err != nil {

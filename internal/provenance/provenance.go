@@ -66,6 +66,12 @@ type Operator struct {
 	SourceIDs []SourceAssoc
 }
 
+// OpID identifies an operator within a pipeline and its captured
+// provenance run. The engine's pipeline builder assigns them in plan order
+// (1-based); they are stable across serialisation, so an OpID noted when
+// the run was captured still addresses the same operator after reload.
+type OpID int
+
 // Run is the provenance captured during one pipeline execution.
 type Run struct {
 	ops   map[int]*Operator
@@ -77,6 +83,16 @@ func (r *Run) Op(oid int) (*Operator, bool) {
 	op, ok := r.ops[oid]
 	return op, ok
 }
+
+// OpByID returns the operator provenance addressed by the typed OpID — the
+// query-side entry point for backtracing from a specific operator (see
+// Captured.TraceAt and pebble.TraceFrom).
+func (r *Run) OpByID(id OpID) (*Operator, bool) {
+	return r.Op(int(id))
+}
+
+// ID returns the operator's typed identifier.
+func (o *Operator) ID() OpID { return OpID(o.OID) }
 
 // Operators returns the captured operators in execution order.
 func (r *Run) Operators() []*Operator {

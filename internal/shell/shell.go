@@ -35,7 +35,7 @@ func New(cap *core.Captured, out io.Writer) *Shell {
 // parsed as a tree-pattern question and answered with a provenance report.
 func (s *Shell) Run(in io.Reader) error {
 	fmt.Fprintln(s.out, `pebble provenance shell — enter a tree-pattern (e.g. //id_str == "lp"),`)
-	fmt.Fprintln(s.out, `or a command: help, plan, schema, result [n], provenance, impact <source-oid> <id>, quit`)
+	fmt.Fprintln(s.out, `or a command: help, plan, schema, result [n], provenance, stats, impact <source-oid> <id>, quit`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -87,6 +87,9 @@ func (s *Shell) dispatch(line string) error {
 	case "provenance":
 		s.printProvenance()
 		return nil
+	case "stats", ":stats":
+		fmt.Fprint(s.out, s.cap.Stats().Render(true))
+		return nil
 	case "schema":
 		return s.printSchemas()
 	case "json":
@@ -131,6 +134,7 @@ func (s *Shell) help() {
   json <pattern>           answer a pattern question as JSON
   result [n]               print the first n result rows (default 10)
   provenance               per-operator association counts and sizes
+  stats                    per-operator execution metrics and query timings
   impact <src-oid> <id>    forward-trace one input item to the results
   quit                     leave the shell
 anything else is parsed as a tree-pattern provenance question, e.g.

@@ -15,6 +15,7 @@ import (
 	"pebble/internal/backtrace"
 	"pebble/internal/engine"
 	"pebble/internal/nested"
+	"pebble/internal/obs"
 	"pebble/internal/path"
 )
 
@@ -166,6 +167,15 @@ func (p *Pattern) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
 // the matching rows — the distributed tree-pattern matching step that feeds
 // Alg. 1.
 func (p *Pattern) Match(d *engine.Dataset) *backtrace.Structure {
+	return p.MatchObserved(d, nil)
+}
+
+// MatchObserved matches like Match and reports the matching phase's
+// duration into the recorder as obs.SpanPatternMatch (a nil recorder is
+// fine) — together with the tracer's backtrace span this splits query time
+// into its match and walk shares.
+func (p *Pattern) MatchObserved(d *engine.Dataset, rec *obs.Recorder) *backtrace.Structure {
+	defer rec.StartSpan(obs.SpanPatternMatch)()
 	partResults := make([][]*backtrace.Item, len(d.Partitions))
 	var wg sync.WaitGroup
 	for pi := range d.Partitions {

@@ -25,12 +25,16 @@
 //	src := p.Source("tweets.json")
 //	filt := p.Filter(src, pebble.Eq(pebble.Col("retweet_cnt"), pebble.LitInt(0)))
 //	...
-//	session := pebble.Session{Partitions: 4}
+//	session := pebble.NewSession(pebble.WithPartitions(4))
 //	cap, err := session.Capture(p, inputs)
 //	q, err := cap.Query(pebble.NewPattern(
 //	    pebble.Desc("id_str").WithEq(pebble.String("lp")),
 //	))
 //	fmt.Println(q.Report())
+//
+// Attach a Recorder (pebble.WithRecorder(pebble.NewRecorder())) to collect
+// per-operator execution metrics and query timing spans; read them back via
+// cap.Stats().
 package pebble
 
 import (
@@ -39,12 +43,55 @@ import (
 	"pebble/internal/backtrace"
 	"pebble/internal/core"
 	"pebble/internal/engine"
+	"pebble/internal/obs"
 	"pebble/internal/provenance"
 	"pebble/internal/treepattern"
 )
 
 // Session configures pipeline executions; see core.Session.
 type Session = core.Session
+
+// Option configures a Session built with NewSession.
+type Option = core.Option
+
+// NewSession builds a session from functional options; NewSession() with no
+// options is a ready-to-use default session. The struct-literal form
+// (pebble.Session{Partitions: 4}) remains supported.
+func NewSession(opts ...Option) Session { return core.NewSession(opts...) }
+
+// WithPartitions sets the logical data parallelism (identifier assignment
+// and result order; default engine partition count).
+func WithPartitions(n int) Option { return core.WithPartitions(n) }
+
+// WithWorkers sets the physical worker-goroutine count (0 = NumCPU);
+// results are byte-identical for every value.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithSequential disables goroutine parallelism.
+func WithSequential() Option { return core.WithSequential() }
+
+// WithAnalyzeFirst type-checks plans against input schemas before running.
+func WithAnalyzeFirst() Option { return core.WithAnalyzeFirst() }
+
+// WithRecorder attaches an observability recorder to the session; every run
+// reports per-operator counters and timing spans into it.
+func WithRecorder(rec *Recorder) Option { return core.WithRecorder(rec) }
+
+// Recorder collects per-operator execution metrics and timing spans; create
+// one with NewRecorder, attach it via WithRecorder (or Session.Recorder),
+// and read it with Snapshot or Captured.Stats. A nil *Recorder disables all
+// collection at near-zero cost.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty metrics recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// Stats is a merged snapshot of recorded metrics; render it with Render or
+// inspect per-operator OpStat entries.
+type Stats = obs.Stats
+
+// OpStat is the merged per-operator counter row of a Stats snapshot.
+type OpStat = obs.OpStat
 
 // Captured is an executed pipeline with its structural provenance.
 type Captured = core.Captured
@@ -90,8 +137,16 @@ type TraceResult = backtrace.Result
 func NewPipeline() *Pipeline { return engine.NewPipeline() }
 
 // NewDataset partitions values into parts partitions, assigning each row a
-// unique provenance identifier.
+// unique provenance identifier. parts <= 0 means the engine default
+// partition count, matching a default Session — for a dataset that should
+// follow a specific session's partitioning, prefer Session.NewDataset
+// (precedence: explicit positive parts > session partitions > engine
+// default). Sessions and datasets must agree on the partition count for
+// byte-identical reproducible runs.
 func NewDataset(name string, values []Value, parts int) *Dataset {
+	if parts <= 0 {
+		parts = engine.DefaultPartitions
+	}
 	return engine.NewDataset(name, values, parts, engine.NewIDGen(1))
 }
 
@@ -131,8 +186,31 @@ type ProvenanceRun = provenance.Run
 // ReadProvenance loads a provenance run persisted with (*ProvenanceRun).WriteTo.
 func ReadProvenance(r io.Reader) (*ProvenanceRun, error) { return provenance.ReadRun(r) }
 
-// Trace answers a provenance question over a (possibly reloaded) provenance
-// run without a Session: it backtraces the structure from operator startOID.
+// OpID identifies an operator within a pipeline and its captured provenance
+// run; it is stable across serialisation, so an OpID noted at capture time
+// still addresses the same operator after ReadProvenance.
+type OpID = provenance.OpID
+
+// ProvOperator is one operator's captured provenance within a run; resolve
+// it with (*ProvenanceRun).OpByID and trace from it with TraceFrom or
+// Captured.TraceAt.
+type ProvOperator = provenance.Operator
+
+// TraceFrom answers a provenance question over a (possibly reloaded)
+// provenance run without a Session: it backtraces the structure from the
+// given captured operator. Resolve the operator with run.OpByID or
+// run.Operators().
+func TraceFrom(run *ProvenanceRun, op *ProvOperator, b *Structure) (*TraceResult, error) {
+	return backtrace.TraceOp(run, op, b)
+}
+
+// Trace backtraces the structure from the operator with the raw identifier
+// startOID.
+//
+// Deprecated: resolve the operator with run.OpByID(pebble.OpID(startOID))
+// and call TraceFrom (or Captured.TraceAt on a live capture) instead; the
+// typed form catches stale identifiers at resolution time rather than
+// deep inside the walk.
 func Trace(run *ProvenanceRun, startOID int, b *Structure) (*TraceResult, error) {
 	return backtrace.Trace(run, startOID, b)
 }
