@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench bench-overhead breakdown scaling soak pebblevet
+.PHONY: build test check bench bench-overhead bench-codec breakdown scaling soak pebblevet
 
 build:
 	go build ./...
@@ -27,6 +27,13 @@ bench:
 # non-blocking because shared runners are noisy).
 bench-overhead:
 	go run ./cmd/benchrunner -exp overheadgate -gb 50 -reps 5 -gate-pct 2
+
+# Codec comparison: v1 fixed-width vs v2 columnar delta+varint stream sizes
+# and encode/decode times over every scenario; regenerates the committed
+# baseline (BENCH_PR5.json, EXPERIMENTS.md; DESIGN.md §8 documents the
+# format).
+bench-codec:
+	go run ./cmd/benchrunner -exp codec -gb 10 -reps 5 -out BENCH_PR5.json
 
 # Regenerate the per-operator capture breakdown baseline (BENCH_PR4.json,
 # EXPERIMENTS.md).

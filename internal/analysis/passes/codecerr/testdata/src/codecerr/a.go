@@ -33,6 +33,26 @@ func fixedWidth(b []byte, v uint32) {
 	binary.LittleEndian.PutUint32(b, v)
 }
 
+// The varint paths the columnar v2 codec leans on: a dropped ReadUvarint
+// error turns a truncated stream into silent zeros.
+func badVarint(r *bytes.Reader) {
+	binary.ReadUvarint(r) // want `error returned by binary.ReadUvarint is discarded`
+}
+
+func badVarintBlank(r *bytes.Reader) uint64 {
+	_, _ = binary.ReadUvarint(r) // want `error returned by binary.ReadUvarint is assigned to _`
+	return 0
+}
+
+func goodVarint(r *bytes.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// AppendUvarint is the error-free append API: not flagged.
+func appendVarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
 func ignored(buf *bytes.Buffer, v uint32) {
 	//pebblevet:ignore codecerr -- fixture: deliberate suppression example
 	binary.Write(buf, binary.LittleEndian, v)

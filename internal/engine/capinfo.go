@@ -54,27 +54,45 @@ type OpInfo struct {
 }
 
 // CaptureSink receives provenance during execution. StartOperator is called
-// once per operator before its rows flow; the per-row methods are called
-// concurrently from different partitions (distinguished by part) and must be
-// safe under that access pattern. A nil sink disables capture entirely.
+// once per operator before its rows flow; the executor then requests one
+// PartitionSink per partition morsel and appends every association of that
+// morsel through it. StartOperator for one operator may race with Partition
+// calls and per-row appends of another (the engine executes independent DAG
+// branches concurrently), so the registry behind Partition must be
+// synchronised — but each returned PartitionSink is used by exactly one
+// goroutine at a time and can append without locking. A nil sink disables
+// capture entirely.
 type CaptureSink interface {
 	// StartOperator announces an operator and its static provenance.
 	StartOperator(info OpInfo, partitions int)
+	// Partition returns the morsel-scoped sink for one partition of an
+	// announced operator. The executor calls it once per morsel — any
+	// registry lookup or locking is paid here, once, instead of once per
+	// row. The handle must not be shared across partitions or retained
+	// after the operator finishes.
+	Partition(oid, part int) PartitionSink
+}
+
+// PartitionSink appends the association rows of one partition morsel. All
+// methods are single-goroutine: the executor owns the morsel for the
+// duration of the handle, so implementations append without locking.
+type PartitionSink interface {
 	// SourceRow records a top-level identifier assigned to a source row,
 	// together with the identifier the row carried in the raw input dataset
 	// (so analyses can correlate multiple reads of the same input).
-	SourceRow(oid, part int, id, origID int64)
+	SourceRow(id, origID int64)
 	// Unary records ⟨id_i, id_o⟩ for map, select, filter.
-	Unary(oid, part int, inID, outID int64)
+	Unary(inID, outID int64)
 	// Binary records ⟨id_i1, id_i2, id_o⟩ for join and union; for union the
 	// absent side is -1.
-	Binary(oid, part int, leftID, rightID, outID int64)
-	// FlattenAssoc records ⟨id_i, pos, id_o⟩ with the 1-based position of the
+	Binary(leftID, rightID, outID int64)
+	// Flatten records ⟨id_i, pos, id_o⟩ with the 1-based position of the
 	// flattened element.
-	FlattenAssoc(oid, part int, inID int64, pos int, outID int64)
-	// AggAssoc records ⟨ids_i, id_o⟩; the order of inIDs matches the element
-	// order of every nested collection the aggregation produced.
-	AggAssoc(oid, part int, inIDs []int64, outID int64)
+	Flatten(inID int64, pos int, outID int64)
+	// Agg records ⟨ids_i, id_o⟩; the order of inIDs matches the element
+	// order of every nested collection the aggregation produced. The sink
+	// takes ownership of the slice — the caller must not reuse it.
+	Agg(inIDs []int64, outID int64)
 }
 
 // opInfo derives the static provenance of an operator per the inference

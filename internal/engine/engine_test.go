@@ -501,47 +501,57 @@ func (s *recordingSink) StartOperator(info OpInfo, parts int) {
 	defer s.mu.Unlock()
 	s.infos = append(s.infos, info)
 }
-func (s *recordingSink) SourceRow(oid, part int, id, origID int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sources = append(s.sources, id)
+
+// Partition implements CaptureSink; the recording handle locks per append
+// (this sink asserts content, not the hot path).
+func (s *recordingSink) Partition(oid, part int) PartitionSink {
+	return &recordingPartition{s: s, oid: oid}
 }
-func (s *recordingSink) Unary(oid, part int, in, out int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.unaries = append(s.unaries, struct {
+
+type recordingPartition struct {
+	s   *recordingSink
+	oid int
+}
+
+func (p *recordingPartition) SourceRow(id, origID int64) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.sources = append(p.s.sources, id)
+}
+func (p *recordingPartition) Unary(in, out int64) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.unaries = append(p.s.unaries, struct {
 		oid     int
 		in, out int64
-	}{oid, in, out})
+	}{p.oid, in, out})
 }
-func (s *recordingSink) Binary(oid, part int, l, r, out int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.binaries = append(s.binaries, struct {
+func (p *recordingPartition) Binary(l, r, out int64) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.binaries = append(p.s.binaries, struct {
 		oid       int
 		l, r, out int64
-	}{oid, l, r, out})
+	}{p.oid, l, r, out})
 }
-func (s *recordingSink) FlattenAssoc(oid, part int, in int64, pos int, out int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.flattens = append(s.flattens, struct {
+func (p *recordingPartition) Flatten(in int64, pos int, out int64) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.flattens = append(p.s.flattens, struct {
 		oid int
 		in  int64
 		pos int
 		out int64
-	}{oid, in, pos, out})
+	}{p.oid, in, pos, out})
 }
-func (s *recordingSink) AggAssoc(oid, part int, ins []int64, out int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp := make([]int64, len(ins))
-	copy(cp, ins)
-	s.aggs = append(s.aggs, struct {
+func (p *recordingPartition) Agg(ins []int64, out int64) {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.aggs = append(p.s.aggs, struct {
 		oid int
 		ins []int64
 		out int64
-	}{oid, cp, out})
+	}{p.oid, ins, out})
 }
 
 func TestCaptureEventsFigure1(t *testing.T) {

@@ -265,22 +265,29 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 	partitions := make([][]Row, len(parts))
 	err := e.forEachPartition(len(parts), func(part int) error {
 		rows := make([]Row, len(parts[part]))
+		// One registry lookup per morsel: the handle appends lock-free.
+		var ps PartitionSink
+		if e.opts.Sink != nil && len(parts[part]) > 0 {
+			ps = e.opts.Sink.Partition(oid, part)
+		}
 		id := offsets[part]
 		for i, pr := range parts[part] {
 			rows[i] = Row{ID: id, Value: pr.value}
-			if e.opts.Sink != nil {
+			if ps != nil {
 				switch kind {
 				case assocUnary:
-					e.opts.Sink.Unary(oid, part, pr.in1, id)
+					ps.Unary(pr.in1, id)
 				case assocBinary:
-					e.opts.Sink.Binary(oid, part, pr.in1, pr.in2, id)
+					ps.Binary(pr.in1, pr.in2, id)
 				case assocFlatten:
-					e.opts.Sink.FlattenAssoc(oid, part, pr.in1, pr.pos, id)
+					ps.Flatten(pr.in1, pr.pos, id)
 				case assocAgg:
-					e.opts.Sink.AggAssoc(oid, part, pr.inIDs, id)
+					// The pending slice was built for the sink (see
+					// execAggregate); ownership transfers, no copy.
+					ps.Agg(pr.inIDs, id)
 				case assocMultiUnary:
 					for _, in := range pr.inIDs {
-						e.opts.Sink.Unary(oid, part, in, id)
+						ps.Unary(in, id)
 					}
 				}
 			}
@@ -351,11 +358,15 @@ func (e *executor) execSource(o *Op) (*Dataset, error) {
 	partitions := make([][]Row, len(in.Partitions))
 	err := e.forEachPartition(len(in.Partitions), func(part int) error {
 		rows := make([]Row, len(in.Partitions[part]))
+		var ps PartitionSink
+		if e.opts.Sink != nil && len(in.Partitions[part]) > 0 {
+			ps = e.opts.Sink.Partition(o.id, part)
+		}
 		id := offsets[part]
 		for i, r := range in.Partitions[part] {
 			rows[i] = Row{ID: id, Value: r.Value}
-			if e.opts.Sink != nil {
-				e.opts.Sink.SourceRow(o.id, part, id, r.ID)
+			if ps != nil {
+				ps.SourceRow(id, r.ID)
 			}
 			id++
 		}

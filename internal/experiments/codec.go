@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// CodecRow is one scenario of the codec comparison: the same captured run
+// serialised through the fixed-width v1 layout and the columnar delta+varint
+// v2 layout, with encode and decode wall times for both.
+type CodecRow struct {
+	Scenario string        `json:"scenario"`
+	SimGB    int           `json:"sim_gb"`
+	V1Bytes  int64         `json:"v1_bytes"`
+	V2Bytes  int64         `json:"v2_bytes"`
+	Ratio    float64       `json:"v2_over_v1"` // V2Bytes / V1Bytes
+	V1Encode time.Duration `json:"v1_encode_ns"`
+	V2Encode time.Duration `json:"v2_encode_ns"`
+	V1Decode time.Duration `json:"v1_decode_ns"`
+	V2Decode time.Duration `json:"v2_decode_ns"`
+}
+
+// CodecComparison captures every scenario once and measures both codec
+// versions over the identical run, so the size ratio and the encode/decode
+// times compare the formats and nothing else. Encodes go to io.Discard
+// (the stream is assembled in memory either way); decodes read from the
+// in-memory stream.
+func CodecComparison(cfg Config, sweep Sweep) ([]CodecRow, error) {
+	cfg = cfg.withDefaults()
+	gb := 100
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	var rows []CodecRow
+	for _, sc := range workload.AllScenarios() {
+		inputs := sc.Input(scale, cfg.Partitions)
+		_, run, err := provenance.Capture(sc.Build(), inputs, cfg.options())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		row := CodecRow{Scenario: sc.Name, SimGB: gb}
+		var v1, v2 bytes.Buffer
+		if _, err := run.WriteToVersion(&v1, 1); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		if _, err := run.WriteToVersion(&v2, 2); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		row.V1Bytes = int64(v1.Len())
+		row.V2Bytes = int64(v2.Len())
+		if row.V1Bytes > 0 {
+			row.Ratio = float64(row.V2Bytes) / float64(row.V1Bytes)
+		}
+		encode := func(version int) func() error {
+			return func() error {
+				_, err := run.WriteToVersion(io.Discard, version)
+				return err
+			}
+		}
+		decode := func(stream []byte) func() error {
+			return func() error {
+				_, err := provenance.ReadRun(bytes.NewReader(stream))
+				return err
+			}
+		}
+		if row.V1Encode, row.V2Encode, err = measurePair(cfg, encode(1), encode(2)); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		if row.V1Decode, row.V2Decode, err = measurePair(cfg, decode(v1.Bytes()), decode(v2.Bytes())); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCodec renders the codec comparison.
+func RenderCodec(title string, rows []CodecRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %10s %10s %7s %10s %10s %10s %10s\n",
+		title, "S", "v1_bytes", "v2_bytes", "ratio", "v1_enc", "v2_enc", "v1_dec", "v2_dec")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %10d %10d %6.1f%% %10s %10s %10s %10s\n",
+			r.Scenario, r.V1Bytes, r.V2Bytes, 100*r.Ratio,
+			fmtDur(r.V1Encode), fmtDur(r.V2Encode), fmtDur(r.V1Decode), fmtDur(r.V2Decode))
+	}
+	return sb.String()
+}

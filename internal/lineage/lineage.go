@@ -45,9 +45,10 @@ type Run struct {
 }
 
 // Collector implements engine.CaptureSink, capturing lineage only. As with
-// the structural collector, the per-row methods read-lock the operator
-// registry (the engine starts concurrently executing operators while rows of
-// others still flow) and append to morsel-owned shards without locking.
+// the structural collector, Partition read-locks the operator registry once
+// per morsel (the engine starts concurrently executing operators while
+// morsels of others still flow) and the returned handle appends to its
+// morsel-owned shard without locking.
 type Collector struct {
 	mu    sync.RWMutex
 	ops   map[int]*opShards
@@ -61,6 +62,8 @@ type opShards struct {
 	shards []shard
 }
 
+// shard is the collector's engine.PartitionSink: single-goroutine appends
+// for one (operator, partition) morsel.
 type shard struct {
 	source []int64
 	unary  []unaryAssoc
@@ -87,47 +90,41 @@ func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
 	c.order = append(c.order, info.OID)
 }
 
-// shard returns the per-partition shard of an operator; the read lock only
-// covers the registry lookup, appends are morsel-owned.
-func (c *Collector) shard(oid, part int) *shard {
+// Partition implements engine.CaptureSink; the read lock only covers the
+// registry lookup, appends through the returned handle are morsel-owned.
+func (c *Collector) Partition(oid, part int) engine.PartitionSink {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return &c.ops[oid].shards[part]
 }
 
-// SourceRow implements engine.CaptureSink.
-func (c *Collector) SourceRow(oid, part int, id, origID int64) {
-	s := c.shard(oid, part)
+// SourceRow implements engine.PartitionSink.
+func (s *shard) SourceRow(id, origID int64) {
 	s.source = append(s.source, id)
 }
 
-// Unary implements engine.CaptureSink.
-func (c *Collector) Unary(oid, part int, inID, outID int64) {
-	s := c.shard(oid, part)
+// Unary implements engine.PartitionSink.
+func (s *shard) Unary(inID, outID int64) {
 	s.unary = append(s.unary, unaryAssoc{in: inID, out: outID})
 }
 
-// Binary implements engine.CaptureSink.
-func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
-	s := c.shard(oid, part)
+// Binary implements engine.PartitionSink.
+func (s *shard) Binary(leftID, rightID, outID int64) {
 	s.binary = append(s.binary, binaryAssoc{left: leftID, right: rightID, out: outID})
 }
 
-// FlattenAssoc implements engine.CaptureSink. Titian has no flatten notion;
+// Flatten implements engine.PartitionSink. Titian has no flatten notion;
 // the position is dropped and only the id pair retained (Sec. 7.3.2: "the
 // overhead can increase when flatten operators store positions that lineage
 // solutions do not capture").
-func (c *Collector) FlattenAssoc(oid, part int, inID int64, pos int, outID int64) {
-	s := c.shard(oid, part)
+func (s *shard) Flatten(inID int64, pos int, outID int64) {
 	s.unary = append(s.unary, unaryAssoc{in: inID, out: outID})
 }
 
-// AggAssoc implements engine.CaptureSink.
-func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
-	s := c.shard(oid, part)
-	ids := make([]int64, len(inIDs))
-	copy(ids, inIDs)
-	s.agg = append(s.agg, aggAssoc{ins: ids, out: outID})
+// Agg implements engine.PartitionSink, taking ownership of inIDs per the
+// PartitionSink contract (the executor never reuses the slice).
+func (s *shard) Agg(inIDs []int64, outID int64) {
+	s.agg = append(s.agg, aggAssoc{ins: inIDs, out: outID})
 }
 
 // Finish merges the shards into an immutable Run; the collector is reusable

@@ -95,16 +95,27 @@ func TestAggregateKeyOnlyGranularity(t *testing.T) {
 // droppingSink wraps a capture sink and suppresses unary associations whose
 // input id is congruent to 3 mod 7 — a deterministic "lost association"
 // fault that is independent of scheduling, so it models a collector shard
-// losing writes without tripping the cross-worker checks first.
+// losing writes without tripping the cross-worker checks first. It
+// interposes on the morsel handles: Partition wraps the inner sink's
+// PartitionSink, so the drop applies on the lock-free append path the
+// engine actually uses.
 type droppingSink struct {
 	engine.CaptureSink
 }
 
-func (d *droppingSink) Unary(oid, part int, inID, outID int64) {
+func (d *droppingSink) Partition(oid, part int) engine.PartitionSink {
+	return &droppingPartition{PartitionSink: d.CaptureSink.Partition(oid, part)}
+}
+
+type droppingPartition struct {
+	engine.PartitionSink
+}
+
+func (d *droppingPartition) Unary(inID, outID int64) {
 	if inID%7 == 3 {
 		return
 	}
-	d.CaptureSink.Unary(oid, part, inID, outID)
+	d.PartitionSink.Unary(inID, outID)
 }
 
 // TestInjectedFaultIsCaughtAndShrunk proves the oracle end to end: dropping

@@ -17,37 +17,72 @@ import (
 // paper are days apart in practice — auditing queries run when a breach is
 // investigated).
 //
-//	magic "PBLP" | u16 version | u32 #ops | ops...
+// Version 1 (still decoded, no longer written by default):
 //
-// Everything is little-endian; strings and slices are length-prefixed.
+//	magic "PBLP" | u16 version=1 | u32 #ops | ops...
+//
+// with fixed-width little-endian fields; strings and slices are
+// length-prefixed and association rows are stored row-major with u32/i64
+// fields. Version 2 (the default write format, see codec_v2.go and
+// DESIGN.md §8) shares the magic/version prefix and stores a string
+// dictionary followed by per-operator columnar delta+varint association
+// columns.
 const (
-	codecMagic   = "PBLP"
-	codecVersion = 1
+	codecMagic     = "PBLP"
+	codecVersionV1 = 1
+	codecVersionV2 = 2
+	// codecVersion is the version WriteTo emits.
+	codecVersion = codecVersionV2
 )
 
-// WriteTo serialises the run.
+// WriteTo serialises the run in the current format version.
 func (r *Run) WriteTo(w io.Writer) (int64, error) {
-	return r.writeTo(w, nil)
+	return r.writeTo(w, nil, codecVersion)
 }
 
 // WriteToObserved serialises like WriteTo and additionally records every
 // operator's encoded byte count into the recorder (obs.BytesEncoded) — the
 // codec-level counterpart of the model-level ProvBytes counter.
 func (r *Run) WriteToObserved(w io.Writer, rec *obs.Recorder) (int64, error) {
-	return r.writeTo(w, rec)
+	return r.writeTo(w, rec, codecVersion)
 }
 
-func (r *Run) writeTo(w io.Writer, rec *obs.Recorder) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if err := r.encode(cw, rec); err != nil {
+// WriteToVersion serialises the run in an explicit format version (1 or 2).
+// Old streams stay readable forever via ReadRun; writing v1 exists for the
+// codec comparison experiment and for compatibility tests — new captures
+// should use WriteTo.
+func (r *Run) WriteToVersion(w io.Writer, version int) (int64, error) {
+	return r.writeTo(w, nil, version)
+}
+
+func (r *Run) writeTo(w io.Writer, rec *obs.Recorder, version int) (int64, error) {
+	switch version {
+	case codecVersionV1:
+		return r.writeToV1(w, rec)
+	case codecVersionV2:
+		return r.writeToV2(w, rec)
+	}
+	return 0, fmt.Errorf("provenance: cannot encode version %d", version)
+}
+
+// writeToV1 emits the fixed-width v1 layout. The counting writer sits
+// *below* the bufio buffer, so the returned byte count reflects bytes that
+// actually reached w — a failed flush cannot inflate it.
+func (r *Run) writeToV1(w io.Writer, rec *obs.Recorder) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if err := r.encodeV1(bw, rec); err != nil {
 		return cw.n, err
 	}
-	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
-		return cw.n, err
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("provenance: flushing encoded run: %w", err)
 	}
 	return cw.n, nil
 }
 
+// countingWriter counts the bytes its underlying writer accepted. It wraps
+// the destination directly (not the buffer above it), so short writes and
+// post-error flushes are reported as the bytes genuinely written.
 type countingWriter struct {
 	w io.Writer
 	n int64
@@ -59,14 +94,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (r *Run) encode(cw *countingWriter, rec *obs.Recorder) error {
-	e := &encoder{w: cw}
+func (r *Run) encodeV1(w io.Writer, rec *obs.Recorder) error {
+	e := &encoder{w: w}
 	e.bytes([]byte(codecMagic))
-	e.u16(codecVersion)
+	e.u16(codecVersionV1)
 	e.u32(uint32(len(r.order)))
 	for _, oid := range r.order {
 		op := r.ops[oid]
-		opStart := cw.n
+		opStart := e.off
 		e.u32(uint32(op.OID))
 		e.str(string(op.Type))
 		e.bool(op.ManipUndefined)
@@ -135,16 +170,21 @@ func (r *Run) encode(cw *countingWriter, rec *obs.Recorder) error {
 		default:
 			e.u8(0)
 		}
-		if e.err == nil {
-			rec.Add(op.OID, 0, obs.BytesEncoded, cw.n-opStart)
+		if e.err != nil {
+			return fmt.Errorf("provenance: encoding operator %d (%s): %w", op.OID, op.Type, e.err)
 		}
+		rec.Add(op.OID, 0, obs.BytesEncoded, e.off-opStart)
 	}
 	return e.err
 }
 
-// ReadRun deserialises a run written by WriteTo.
+// ReadRun deserialises a run written by any WriteTo version: streams
+// persisted by the fixed-width v1 codec keep decoding forever (capture and
+// audit are days apart — archived provenance must outlive codec upgrades),
+// and v2 streams decode through the columnar path in codec_v2.go.
 func ReadRun(r io.Reader) (*Run, error) {
-	d := &decoder{r: bufio.NewReader(r)}
+	br := bufio.NewReader(r)
+	d := &decoder{r: br}
 	magic := d.bytes(4)
 	if d.err != nil {
 		return nil, d.err
@@ -152,9 +192,21 @@ func ReadRun(r io.Reader) (*Run, error) {
 	if string(magic) != codecMagic {
 		return nil, fmt.Errorf("provenance: bad magic %q", magic)
 	}
-	if v := d.u16(); v != codecVersion {
+	switch v := d.u16(); {
+	case d.err != nil:
+		return nil, d.err
+	case v == codecVersionV1:
+		return readRunV1(d)
+	case v == codecVersionV2:
+		return readRunV2(br)
+	default:
 		return nil, fmt.Errorf("provenance: unsupported version %d", v)
 	}
+}
+
+// readRunV1 decodes the fixed-width v1 operator stream following the
+// magic/version prefix.
+func readRunV1(d *decoder) (*Run, error) {
 	nOps := int(d.u32())
 	if d.err != nil {
 		return nil, d.err
@@ -270,9 +322,13 @@ func capHint(n int) int {
 	return n
 }
 
-// encoder writes little-endian primitives, remembering the first error.
+// encoder writes little-endian primitives, remembering the first error and
+// the logical offset (bytes handed to the writer so far — used for per-op
+// size attribution, which must not depend on when the buffer above the
+// counting writer flushes).
 type encoder struct {
 	w   io.Writer
+	off int64
 	err error
 }
 
@@ -280,7 +336,9 @@ func (e *encoder) write(p []byte) {
 	if e.err != nil {
 		return
 	}
-	_, e.err = e.w.Write(p)
+	var n int
+	n, e.err = e.w.Write(p)
+	e.off += int64(n)
 }
 
 func (e *encoder) bytes(p []byte) { e.write(p) }

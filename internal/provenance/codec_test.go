@@ -107,20 +107,33 @@ func TestQueryAfterReload(t *testing.T) {
 	}
 }
 
-// rawStream hand-assembles a codec stream from little-endian primitives so
+// rawStream hand-assembles a codec stream from primitives so
 // malformed-input cases can corrupt precisely one field.
 type rawStream struct{ bytes.Buffer }
 
-func (s *rawStream) u8(v uint8)   { s.WriteByte(v) }
-func (s *rawStream) u16(v uint16) { s.Write(binary.LittleEndian.AppendUint16(nil, v)) }
-func (s *rawStream) u32(v uint32) { s.Write(binary.LittleEndian.AppendUint32(nil, v)) }
-func (s *rawStream) str(v string) { s.u32(uint32(len(v))); s.WriteString(v) }
+func (s *rawStream) u8(v uint8)    { s.WriteByte(v) }
+func (s *rawStream) u16(v uint16)  { s.Write(binary.LittleEndian.AppendUint16(nil, v)) }
+func (s *rawStream) u32(v uint32)  { s.Write(binary.LittleEndian.AppendUint32(nil, v)) }
+func (s *rawStream) str(v string)  { s.u32(uint32(len(v))); s.WriteString(v) }
+func (s *rawStream) uv(v uint64)   { s.Write(binary.AppendUvarint(nil, v)) }
+func (s *rawStream) dstr(v string) { s.uv(uint64(len(v))); s.WriteString(v) }
 
 // header writes a valid magic + version + op count prefix.
 func (s *rawStream) header(nOps uint32) *rawStream {
 	s.WriteString("PBLP")
 	s.u16(1)
 	s.u32(nOps)
+	return s
+}
+
+// headerV2 writes a valid v2 magic + version + dictionary prefix.
+func (s *rawStream) headerV2(dict ...string) *rawStream {
+	s.WriteString("PBLP")
+	s.u16(2)
+	s.uv(uint64(len(dict)))
+	for _, e := range dict {
+		s.dstr(e)
+	}
 	return s
 }
 
@@ -153,6 +166,45 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	hugeString.u32(7)
 	hugeString.u32(1 << 21) // type-string length above the decoder's limit
 
+	// v2-specific corruptions: the columnar path has its own failure modes —
+	// dictionary references, declared counts, and its own tag byte.
+	v2op := func(body func(s *rawStream)) []byte {
+		s := new(rawStream).headerV2("filter")
+		s.uv(1) // one operator
+		body(s)
+		return s.Bytes()
+	}
+	v2UnknownTag := v2op(func(s *rawStream) {
+		s.uv(7) // OID
+		s.uv(0) // type ref → "filter"
+		s.u8(0) // ManipUndefined
+		s.uv(0) // no inputs
+		s.uv(0) // no mappings
+		s.u8(9) // association tag 9 does not exist
+	})
+	v2DictRefOutOfRange := v2op(func(s *rawStream) {
+		s.uv(7)
+		s.uv(5) // type ref 5, but the dictionary has one entry
+	})
+	v2HugeDict := new(rawStream)
+	v2HugeDict.WriteString("PBLP")
+	v2HugeDict.u16(2)
+	v2HugeDict.uv(1)
+	v2HugeDict.uv(1 << 21) // dictionary string above the decoder's limit
+	v2HugeCount := new(rawStream)
+	v2HugeCount.WriteString("PBLP")
+	v2HugeCount.u16(2)
+	v2HugeCount.uv(1 << 33) // dictionary count above the sanity cap
+	v2EmptyOutPath := new(rawStream).headerV2("")
+	v2EmptyOutPath.uv(1) // one operator
+	v2EmptyOutPath.uv(7)
+	v2EmptyOutPath.uv(0) // type "" (allowed — opaque string)
+	v2EmptyOutPath.u8(0)
+	v2EmptyOutPath.uv(0) // no inputs
+	v2EmptyOutPath.uv(1) // one mapping
+	v2EmptyOutPath.uv(0) // In "" → nil, fine
+	v2EmptyOutPath.uv(0) // Out "" → path.Parse rejects the empty path
+
 	cases := []struct {
 		name string
 		data []byte
@@ -165,6 +217,12 @@ func TestCodecRejectsGarbage(t *testing.T) {
 		{"header only", new(rawStream).header(3).Bytes()},
 		{"unknown association tag", unknownTag.Bytes()},
 		{"oversized string length", hugeString.Bytes()},
+		{"v2 header only", new(rawStream).headerV2("filter").Bytes()},
+		{"v2 unknown association tag", v2UnknownTag},
+		{"v2 dictionary ref out of range", v2DictRefOutOfRange},
+		{"v2 oversized dictionary string", v2HugeDict.Bytes()},
+		{"v2 oversized count", v2HugeCount.Bytes()},
+		{"v2 empty mapping output path", v2EmptyOutPath.Bytes()},
 	}
 	for _, c := range cases {
 		if _, err := provenance.ReadRun(bytes.NewReader(c.data)); err == nil {
@@ -173,10 +231,18 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	}
 
 	// Every strict prefix of a valid stream truncates some field or record
-	// and must be rejected — the format has no optional trailer.
-	for n := 0; n < len(valid); n++ {
-		if _, err := provenance.ReadRun(bytes.NewReader(valid[:n])); err == nil {
-			t.Fatalf("truncated stream of %d/%d bytes accepted", n, len(valid))
+	// and must be rejected — neither format has an optional trailer. The
+	// default WriteTo stream covers v2; the explicit v1 stream keeps the
+	// legacy fixed-width path honest.
+	var v1buf bytes.Buffer
+	if _, err := run.WriteToVersion(&v1buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range [][]byte{valid, v1buf.Bytes()} {
+		for n := 0; n < len(stream); n++ {
+			if _, err := provenance.ReadRun(bytes.NewReader(stream[:n])); err == nil {
+				t.Fatalf("truncated stream of %d/%d bytes accepted", n, len(stream))
+			}
 		}
 	}
 }

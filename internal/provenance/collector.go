@@ -8,16 +8,21 @@ import (
 	"pebble/internal/obs"
 )
 
-// Collector implements engine.CaptureSink and assembles a Run. Per-row events
-// append to per-partition shards without locking (each partition morsel is
-// owned by one worker during execution); StartOperator takes the write lock,
-// and the per-row methods only read-lock the operator registry — the engine
-// executes independent DAG branches concurrently, so StartOperator for one
-// operator races with per-row events of another.
+// Collector implements engine.CaptureSink and assembles a Run. The executor
+// requests one PartitionSink handle per partition morsel; the registry lock
+// is paid once per morsel in Partition, and the handle then appends to its
+// shard with zero locking and no map lookups (each morsel is owned by one
+// worker during execution). StartOperator takes the write lock — the engine
+// announces concurrently executing DAG branches while morsels of other
+// operators still flow.
 type Collector struct {
 	mu    sync.RWMutex
 	ops   map[int]*opShards // guarded by mu
 	order []int             // guarded by mu
+	// free recycles shard backing arrays across Finish/reuse cycles: the
+	// merge copies every association out of the shards, so the arrays can
+	// back the next capture without aliasing the returned Run.
+	free [][]shard // guarded by mu
 
 	// rec receives the Finish span and per-operator provenance-size
 	// counters; set it with Observe before the run starts (not guarded —
@@ -30,12 +35,41 @@ type opShards struct {
 	shards []shard
 }
 
+// shard buffers the association rows of one (operator, partition) pair. It
+// is the collector's engine.PartitionSink: the executor owns a shard for the
+// duration of a morsel, so the append methods need no synchronisation.
 type shard struct {
 	unary   []UnaryAssoc
 	binary  []BinaryAssoc
 	flatten []FlattenAssoc
 	agg     []AggAssoc
 	source  []SourceAssoc
+}
+
+// SourceRow implements engine.PartitionSink.
+func (s *shard) SourceRow(id, origID int64) {
+	s.source = append(s.source, SourceAssoc{ID: id, OrigID: origID})
+}
+
+// Unary implements engine.PartitionSink.
+func (s *shard) Unary(inID, outID int64) {
+	s.unary = append(s.unary, UnaryAssoc{In: inID, Out: outID})
+}
+
+// Binary implements engine.PartitionSink.
+func (s *shard) Binary(leftID, rightID, outID int64) {
+	s.binary = append(s.binary, BinaryAssoc{Left: leftID, Right: rightID, Out: outID})
+}
+
+// Flatten implements engine.PartitionSink.
+func (s *shard) Flatten(inID int64, pos int, outID int64) {
+	s.flatten = append(s.flatten, FlattenAssoc{In: inID, Pos: pos, Out: outID})
+}
+
+// Agg implements engine.PartitionSink, taking ownership of inIDs (the
+// executor materialises the slice for the sink and never reuses it).
+func (s *shard) Agg(inIDs []int64, outID int64) {
+	s.agg = append(s.agg, AggAssoc{Ins: inIDs, Out: outID})
 }
 
 // NewCollector returns an empty collector ready to be passed as
@@ -49,6 +83,10 @@ func NewCollector() *Collector {
 // counters. Call before the capture run starts; a nil recorder is fine.
 func (c *Collector) Observe(rec *obs.Recorder) { c.rec = rec }
 
+// maxFreeShards bounds the recycled backing arrays a collector retains, so a
+// one-off giant pipeline cannot pin its shard memory forever.
+const maxFreeShards = 32
+
 // StartOperator implements engine.CaptureSink.
 func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
 	c.mu.Lock()
@@ -56,62 +94,55 @@ func (c *Collector) StartOperator(info engine.OpInfo, partitions int) {
 	if partitions < 1 {
 		partitions = 1
 	}
-	c.ops[info.OID] = &opShards{info: info, shards: make([]shard, partitions)}
+	c.ops[info.OID] = &opShards{info: info, shards: c.takeShards(partitions)}
 	c.order = append(c.order, info.OID)
 }
 
-// shard returns the per-partition shard of an operator. The read lock only
-// protects the registry lookup; the returned shard is owned by the calling
-// partition morsel, so appends to it need no lock.
-func (c *Collector) shard(oid, part int) *shard {
+// takeShards returns a zeroed-length shard slice for partitions morsels,
+// reusing a recycled backing array when one is large enough. Caller holds mu.
+func (c *Collector) takeShards(partitions int) []shard {
+	for i, sh := range c.free {
+		if cap(sh) < partitions {
+			continue
+		}
+		c.free[i] = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		sh = sh[:partitions]
+		for j := range sh {
+			s := &sh[j]
+			s.unary = s.unary[:0]
+			s.binary = s.binary[:0]
+			s.flatten = s.flatten[:0]
+			s.agg = s.agg[:0]
+			s.source = s.source[:0]
+		}
+		return sh
+	}
+	return make([]shard, partitions)
+}
+
+// Partition implements engine.CaptureSink: one read-locked registry lookup
+// per morsel, returning the shard the morsel owns. All subsequent appends go
+// through the handle without any locking.
+func (c *Collector) Partition(oid, part int) engine.PartitionSink {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return &c.ops[oid].shards[part]
 }
 
-// SourceRow implements engine.CaptureSink.
-func (c *Collector) SourceRow(oid, part int, id, origID int64) {
-	s := c.shard(oid, part)
-	s.source = append(s.source, SourceAssoc{ID: id, OrigID: origID})
-}
-
-// Unary implements engine.CaptureSink.
-func (c *Collector) Unary(oid, part int, inID, outID int64) {
-	s := c.shard(oid, part)
-	s.unary = append(s.unary, UnaryAssoc{In: inID, Out: outID})
-}
-
-// Binary implements engine.CaptureSink.
-func (c *Collector) Binary(oid, part int, leftID, rightID, outID int64) {
-	s := c.shard(oid, part)
-	s.binary = append(s.binary, BinaryAssoc{Left: leftID, Right: rightID, Out: outID})
-}
-
-// FlattenAssoc implements engine.CaptureSink.
-func (c *Collector) FlattenAssoc(oid, part int, inID int64, pos int, outID int64) {
-	s := c.shard(oid, part)
-	s.flatten = append(s.flatten, FlattenAssoc{In: inID, Pos: pos, Out: outID})
-}
-
-// AggAssoc implements engine.CaptureSink.
-func (c *Collector) AggAssoc(oid, part int, inIDs []int64, outID int64) {
-	s := c.shard(oid, part)
-	ids := make([]int64, len(inIDs))
-	copy(ids, inIDs)
-	s.agg = append(s.agg, AggAssoc{Ins: ids, Out: outID})
-}
-
 // Finish merges the shards into an immutable Run. The collector can be
-// reused afterwards for a fresh capture. Operators are ordered by id — the
-// engine announces concurrently executing DAG branches in schedule order,
-// but the serialized run must not depend on that schedule. Each association
-// slice is allocated at its exact final size before merging, so large runs
-// don't pay repeated append re-allocations.
+// reused afterwards for a fresh capture; the shard backing arrays are
+// recycled (the merge copies every association row, so the Run never aliases
+// them). Operators are ordered by id — the engine announces concurrently
+// executing DAG branches in schedule order, but the serialized run must not
+// depend on that schedule. Each association slice is allocated at its exact
+// final size before merging, so large runs don't pay repeated append
+// re-allocations.
 func (c *Collector) Finish() *Run {
 	defer c.rec.StartSpan(obs.SpanCollectorFinish)()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	run := &Run{ops: make(map[int]*Operator, len(c.ops))}
+	run := &Run{ops: make(map[int]*Operator, len(c.ops)), order: make([]int, 0, len(c.ops))}
 	sort.Ints(c.order)
 	for _, oid := range c.order {
 		os := c.ops[oid]
@@ -152,6 +183,9 @@ func (c *Collector) Finish() *Run {
 			op.Flatten = append(op.Flatten, sh.flatten...)
 			op.Agg = append(op.Agg, sh.agg...)
 			op.SourceIDs = append(op.SourceIDs, sh.source...)
+		}
+		if len(c.free) < maxFreeShards {
+			c.free = append(c.free, os.shards)
 		}
 		run.ops[oid] = op
 		run.order = append(run.order, oid)

@@ -14,13 +14,14 @@ func fillCollector(c *Collector, ops, parts, rowsPerShard int) {
 	for oid := 1; oid <= ops; oid++ {
 		c.StartOperator(engine.OpInfo{OID: oid, Type: engine.OpMap}, parts)
 		for p := 0; p < parts; p++ {
+			ps := c.Partition(oid, p)
 			for i := 0; i < rowsPerShard; i++ {
 				id := int64(oid*1000000 + p*10000 + i)
-				c.SourceRow(oid, p, id, id)
-				c.Unary(oid, p, id, id+1)
-				c.Binary(oid, p, id, id+1, id+2)
-				c.FlattenAssoc(oid, p, id, i, id+3)
-				c.AggAssoc(oid, p, []int64{id, id + 1}, id+4)
+				ps.SourceRow(id, id)
+				ps.Unary(id, id+1)
+				ps.Binary(id, id+1, id+2)
+				ps.Flatten(id, i, id+3)
+				ps.Agg([]int64{id, id + 1}, id+4)
 			}
 		}
 	}
