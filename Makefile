@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench bench-overhead bench-codec breakdown scaling soak pebblevet
+.PHONY: build test check bench bench-overhead bench-codec bench-query breakdown scaling soak pebblevet
 
 build:
 	go build ./...
@@ -34,6 +34,14 @@ bench-overhead:
 # format).
 bench-codec:
 	go run ./cmd/benchrunner -exp codec -gb 10 -reps 5 -out BENCH_PR5.json
+
+# Query-side raw-speed sweep: cold (eager decode + index rebuild) vs warm
+# (lazy decode + persisted index sidecar) reload-and-trace, plus interpreted
+# vs compiled tree-pattern matching; regenerates the committed baseline
+# (BENCH_PR6.json, EXPERIMENTS.md; DESIGN.md §9 documents the sidecar
+# format).
+bench-query:
+	go run ./cmd/benchrunner -exp query -gb 25 -reps 5 -out BENCH_PR6.json
 
 # Regenerate the per-operator capture breakdown baseline (BENCH_PR4.json,
 # EXPERIMENTS.md).

@@ -1,9 +1,11 @@
-// Package codecerr flags discarded error results from the provenance codec
-// and from encoding/binary read/write calls. A dropped error from
-// Run.WriteTo or ReadRun silently truncates or corrupts serialized
-// provenance — the repro and benchmark artifacts later PRs diff against —
-// and a dropped binary.Read/Write error yields garbage values that look like
-// data. Callers must check, return, or explicitly annotate.
+// Package codecerr flags discarded error results from the provenance codec,
+// the backtrace sidecar codec, and encoding/binary read/write calls. A
+// dropped error from Run.WriteTo or ReadRun silently truncates or corrupts
+// serialized provenance — the repro and benchmark artifacts later PRs diff
+// against — a dropped Tracer.WriteIndexes/LoadIndexes error ships or
+// installs a broken index sidecar, and a dropped binary.Read/Write error
+// yields garbage values that look like data. Callers must check, return, or
+// explicitly annotate.
 package codecerr
 
 import (
@@ -16,11 +18,12 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "codecerr",
-	Doc: `flag discarded errors from the provenance codec and encoding/binary
+	Doc: `flag discarded errors from the provenance and sidecar codecs and encoding/binary
 
 Errors returned by functions and methods of the listed packages (default:
-encoding/binary and pebble/internal/provenance) must not be dropped via a
-bare call statement, assignment to blank identifiers only, or defer.`,
+encoding/binary, pebble/internal/provenance, and pebble/internal/backtrace)
+must not be dropped via a bare call statement, assignment to blank
+identifiers only, or defer.`,
 	Run: run,
 }
 
@@ -28,7 +31,7 @@ bare call statement, assignment to blank identifiers only, or defer.`,
 var pkgs string
 
 func init() {
-	Analyzer.Flags.StringVar(&pkgs, "pkgs", "encoding/binary,pebble/internal/provenance", "comma-separated packages whose returned errors must be checked")
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", "encoding/binary,pebble/internal/provenance,pebble/internal/backtrace", "comma-separated packages whose returned errors must be checked")
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

@@ -1,0 +1,49 @@
+// Fixture for the codecerr analyzer: discarded backtrace sidecar errors. A
+// dropped WriteIndexes error ships a truncated index sidecar; a dropped
+// LoadIndexes error leaves the caller believing persisted indexes were
+// installed when they were rejected.
+package codecerr
+
+import (
+	"bytes"
+
+	"pebble/internal/backtrace"
+)
+
+func badWriteIndexes(t *backtrace.Tracer, buf *bytes.Buffer) {
+	t.WriteIndexes(buf) // want `error returned by backtrace.WriteIndexes is discarded`
+}
+
+func badLoadIndexes(t *backtrace.Tracer, data []byte) {
+	t.LoadIndexes(data) // want `error returned by backtrace.LoadIndexes is discarded`
+}
+
+func badLoadIndexesBlank(t *backtrace.Tracer, data []byte) {
+	_ = t.LoadIndexes(data) // want `error returned by backtrace.LoadIndexes is assigned to _`
+}
+
+func badWriteIndexesDefer(t *backtrace.Tracer, buf *bytes.Buffer) {
+	defer t.WriteIndexes(buf) // want `error returned by backtrace.WriteIndexes is discarded by defer`
+}
+
+func goodLoadIndexes(t *backtrace.Tracer, data []byte) error {
+	return t.LoadIndexes(data)
+}
+
+func checkedWriteIndexes(t *backtrace.Tracer, buf *bytes.Buffer) {
+	if _, err := t.WriteIndexes(buf); err != nil {
+		panic(err)
+	}
+}
+
+// BuildIndexes returns nothing: not flagged.
+func buildOnly(t *backtrace.Tracer) {
+	t.BuildIndexes()
+}
+
+// A rejected-sidecar fallback that deliberately ignores the error must say
+// so explicitly.
+func ignoredLoad(t *backtrace.Tracer, data []byte) {
+	//pebblevet:ignore codecerr -- fixture: rebuild fallback tolerates a rejected sidecar
+	t.LoadIndexes(data)
+}

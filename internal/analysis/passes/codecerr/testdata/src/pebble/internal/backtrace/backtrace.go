@@ -1,0 +1,16 @@
+// Stub of pebble/internal/backtrace for the codecerr fixtures: only the
+// sidecar codec surface, so fixture files can exercise the watched import
+// path without depending on the real package tree.
+package backtrace
+
+import "io"
+
+type Tracer struct{}
+
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) WriteIndexes(w io.Writer) (int64, error) { return 0, nil }
+
+func (t *Tracer) LoadIndexes(data []byte) error { return nil }
+
+func (t *Tracer) BuildIndexes() {}

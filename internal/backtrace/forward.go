@@ -79,21 +79,21 @@ func TraceForward(run *provenance.Run, sourceOID int, ids []int64) (*ForwardResu
 // consumer's output ids, using the operator's association layout.
 func forwardThrough(op *provenance.Operator, inputIdx int, in map[int64]bool) map[int64]bool {
 	out := make(map[int64]bool)
-	switch {
-	case op.Unary != nil || (op.Binary == nil && op.Agg == nil && op.Flatten == nil):
-		for _, a := range op.Unary {
+	switch op.AssocKind() {
+	case provenance.AssocUnary:
+		for _, a := range op.UnaryAssocs() {
 			if in[a.In] {
 				out[a.Out] = true
 			}
 		}
-	case op.Flatten != nil:
-		for _, a := range op.Flatten {
+	case provenance.AssocFlatten:
+		for _, a := range op.FlattenAssocs() {
 			if in[a.In] {
 				out[a.Out] = true
 			}
 		}
-	case op.Binary != nil:
-		for _, a := range op.Binary {
+	case provenance.AssocBinary:
+		for _, a := range op.BinaryAssocs() {
 			side := a.Left
 			if inputIdx == 1 {
 				side = a.Right
@@ -102,8 +102,8 @@ func forwardThrough(op *provenance.Operator, inputIdx int, in map[int64]bool) ma
 				out[a.Out] = true
 			}
 		}
-	case op.Agg != nil:
-		for _, a := range op.Agg {
+	case provenance.AssocAgg:
+		for _, a := range op.AggAssocs() {
 			for _, id := range a.Ins {
 				if in[id] {
 					out[a.Out] = true

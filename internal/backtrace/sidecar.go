@@ -1,0 +1,409 @@
+package backtrace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pebble/internal/obs"
+	"pebble/internal/provenance"
+)
+
+// Index sidecar: the tracer's per-operator association indexes serialized
+// next to a persisted run, so a reloaded session skips index construction
+// entirely — query latency decoupled from capture volume. The sidecar is
+// validated against the run it was built from via the run's content hash
+// (provenance.HashStream over the encoded stream) plus its own payload
+// checksum; a stale or corrupt sidecar is rejected with an error and the
+// caller falls back to the ordinary lazy rebuild — never wrong answers.
+//
+// Wire format (see DESIGN.md §9 for the byte-by-byte walk):
+//
+//	magic "PBLI" | u16 version=1 | u64 runHash | u64 payloadHash
+//	payload:
+//	  uvarint #ops
+//	  per op (run order): uvarint oid | u8 kind
+//	    kind 2 (unary), 5 (agg):
+//	      uvarint #keys | #keys×Δ(key) | uvarint #vals |
+//	      #keys×uvarint runLen | #vals×Δ(val)
+//	    kind 3 (binary):
+//	      uvarint #keys | #keys×Δ(key) | uvarint #vals |
+//	      #keys×uvarint runLen | #vals×Δ(left) | #vals×Δ(right)
+//	    kind 4 (flatten):
+//	      uvarint #keys | #keys×Δ(key) | #keys×Δ(in) | #keys×uvarint pos
+//	    kind 0 (none), 1 (source): no columns
+//
+// Δ columns are zigzag(v − prev) uvarints with prev starting at 0 per
+// column. Key columns are sorted, so their deltas are non-negative and tiny;
+// the whole sidecar is a pure function of the run and byte-identical across
+// worker counts.
+const (
+	sidecarMagic   = "PBLI"
+	sidecarVersion = 1
+	// sidecarHeaderLen is magic + version + runHash + payloadHash.
+	sidecarHeaderLen = 4 + 2 + 8 + 8
+	// maxSidecarCount caps declared element counts before any allocation
+	// commits to them, mirroring the codec's maxV2Count.
+	maxSidecarCount = 1 << 32
+)
+
+// Sentinel errors callers can test with errors.Is to distinguish "this
+// sidecar belongs to a different run" from "this sidecar is damaged"; both
+// mean: rebuild the indexes from the run.
+var (
+	// ErrSidecarStale marks a sidecar whose recorded run hash does not match
+	// the loaded run.
+	ErrSidecarStale = errors.New("backtrace: index sidecar does not match run")
+	// ErrSidecarCorrupt marks a structurally damaged sidecar.
+	ErrSidecarCorrupt = errors.New("backtrace: index sidecar corrupt")
+)
+
+// WriteIndexes builds every operator's association index and serializes the
+// set as a sidecar. The run must carry a content hash (i.e. it was loaded
+// from bytes via provenance.ReadRunLazy), since the hash is what pairs the
+// sidecar with its run at load time.
+func (t *Tracer) WriteIndexes(w io.Writer) (int64, error) {
+	runHash, ok := t.run.ContentHash()
+	if !ok {
+		return 0, fmt.Errorf("backtrace: run has no content hash (reload it from bytes with provenance.ReadRunLazy before persisting indexes)")
+	}
+	ops := t.run.Operators()
+	payload := binary.AppendUvarint(nil, uint64(len(ops)))
+	for _, op := range ops {
+		ix := t.indexFor(op)
+		payload = binary.AppendUvarint(payload, uint64(op.OID))
+		kind := op.AssocKind()
+		payload = append(payload, byte(kind))
+		switch kind {
+		case provenance.AssocUnary:
+			payload = appendPairIdx(payload, &ix.unary)
+		case provenance.AssocAgg:
+			payload = appendPairIdx(payload, &ix.agg)
+		case provenance.AssocBinary:
+			payload = binary.AppendUvarint(payload, uint64(len(ix.binary.keys)))
+			payload = appendDeltaCol(payload, ix.binary.keys)
+			payload = binary.AppendUvarint(payload, uint64(len(ix.binary.lefts)))
+			payload = appendRunLens(payload, ix.binary.offs)
+			payload = appendDeltaCol(payload, ix.binary.lefts)
+			payload = appendDeltaCol(payload, ix.binary.rights)
+		case provenance.AssocFlatten:
+			payload = binary.AppendUvarint(payload, uint64(len(ix.flatten.keys)))
+			payload = appendDeltaCol(payload, ix.flatten.keys)
+			payload = appendDeltaCol(payload, ix.flatten.ins)
+			for _, p := range ix.flatten.poss {
+				payload = binary.AppendUvarint(payload, uint64(p))
+			}
+		}
+	}
+	buf := make([]byte, 0, sidecarHeaderLen+len(payload))
+	buf = append(buf, sidecarMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, sidecarVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, runHash)
+	buf = binary.LittleEndian.AppendUint64(buf, provenance.HashStream(payload))
+	buf = append(buf, payload...)
+	n, err := w.Write(buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("backtrace: writing index sidecar: %w", err)
+	}
+	return int64(n), nil
+}
+
+// appendPairIdx serializes a pairIdx: keys, value count, per-key run
+// lengths, values.
+func appendPairIdx(buf []byte, x *pairIdx) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(x.keys)))
+	buf = appendDeltaCol(buf, x.keys)
+	buf = binary.AppendUvarint(buf, uint64(len(x.vals)))
+	buf = appendRunLens(buf, x.offs)
+	return appendDeltaCol(buf, x.vals)
+}
+
+// appendDeltaCol appends a zigzag-delta varint column.
+func appendDeltaCol(buf []byte, col []int64) []byte {
+	prev := int64(0)
+	for _, v := range col {
+		d := v - prev
+		prev = v
+		buf = binary.AppendUvarint(buf, uint64(d<<1)^uint64(d>>63))
+	}
+	return buf
+}
+
+// appendRunLens appends the per-key run lengths derived from an offset
+// column.
+func appendRunLens(buf []byte, offs []int32) []byte {
+	for i := 0; i+1 < len(offs); i++ {
+		buf = binary.AppendUvarint(buf, uint64(offs[i+1]-offs[i]))
+	}
+	return buf
+}
+
+// LoadIndexes validates a sidecar written by WriteIndexes and installs its
+// per-operator column regions into the tracer, so queries skip index
+// construction. Validation is all-or-nothing and happens before anything is
+// installed: magic, version, run hash, payload checksum, and a structural
+// skip-scan pinning each operator's identity, association kind, and column
+// region boundaries. The columns themselves decode on first index use (the
+// sidecar analogue of the run's lazy association decode); a region that then
+// proves internally inconsistent — unreachable for a sidecar WriteIndexes
+// produced, since the checksum covers every payload byte — is discarded and
+// the index is rebuilt from the operator, so a sidecar can accelerate
+// answers but never change them. On error the tracer is left unchanged and
+// the caller should fall back to the ordinary rebuild. Operators whose
+// index was already built keep the built one. The tracer retains data;
+// callers must not mutate it afterwards.
+func (t *Tracer) LoadIndexes(data []byte) error {
+	defer t.rec.StartSpan(obs.SpanIndexBuild)()
+	runHash, ok := t.run.ContentHash()
+	if !ok {
+		return fmt.Errorf("backtrace: run has no content hash to validate the sidecar against: %w", ErrSidecarStale)
+	}
+	if len(data) < sidecarHeaderLen {
+		return fmt.Errorf("backtrace: sidecar truncated at %d bytes: %w", len(data), ErrSidecarCorrupt)
+	}
+	if string(data[:4]) != sidecarMagic {
+		return fmt.Errorf("backtrace: bad sidecar magic %q: %w", data[:4], ErrSidecarCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != sidecarVersion {
+		return fmt.Errorf("backtrace: unsupported sidecar version %d: %w", v, ErrSidecarCorrupt)
+	}
+	if got := binary.LittleEndian.Uint64(data[6:14]); got != runHash {
+		return fmt.Errorf("backtrace: sidecar was built for run %016x, this run is %016x: %w", got, runHash, ErrSidecarStale)
+	}
+	payload := data[sidecarHeaderLen:]
+	if got := binary.LittleEndian.Uint64(data[14:22]); got != provenance.HashStream(payload) {
+		return fmt.Errorf("backtrace: sidecar payload checksum mismatch: %w", ErrSidecarCorrupt)
+	}
+	ops := t.run.Operators()
+	d := &sideReader{data: payload}
+	nOps := d.count()
+	if d.err == nil && nOps != len(ops) {
+		return fmt.Errorf("backtrace: sidecar covers %d operators, run has %d: %w", nOps, len(ops), ErrSidecarStale)
+	}
+	// Skip-scan: pin operator identities and column region boundaries without
+	// decoding the columns.
+	regions := make([][]byte, len(ops))
+	for i, op := range ops {
+		oid := int(d.uvarint())
+		kind := provenance.AssocKind(d.byte())
+		if d.err != nil {
+			break
+		}
+		if oid != op.OID || kind != op.AssocKind() {
+			return fmt.Errorf("backtrace: sidecar operator %d kind %d does not match run operator %d kind %d: %w",
+				oid, kind, op.OID, op.AssocKind(), ErrSidecarStale)
+		}
+		start := d.pos
+		switch kind {
+		case provenance.AssocUnary, provenance.AssocAgg:
+			nKeys := d.count()
+			d.skip(nKeys) // Δkeys
+			nVals := d.count()
+			d.skip(nKeys) // run lengths
+			d.skip(nVals) // Δvals
+		case provenance.AssocBinary:
+			nKeys := d.count()
+			d.skip(nKeys) // Δkeys
+			nVals := d.count()
+			d.skip(nKeys)     // run lengths
+			d.skip(2 * nVals) // Δlefts, Δrights
+		case provenance.AssocFlatten:
+			nKeys := d.count()
+			d.skip(3 * nKeys) // Δkeys, Δins, positions
+		}
+		if d.err != nil {
+			break
+		}
+		regions[i] = payload[start:d.pos:d.pos]
+	}
+	if d.err != nil {
+		return fmt.Errorf("backtrace: parsing sidecar: %v: %w", d.err, ErrSidecarCorrupt)
+	}
+	if d.pos != len(payload) {
+		return fmt.Errorf("backtrace: %d trailing bytes after sidecar payload: %w", len(payload)-d.pos, ErrSidecarCorrupt)
+	}
+	for i, op := range ops {
+		t.idx.LoadOrStore(op.OID, &opIndex{side: regions[i]})
+	}
+	return nil
+}
+
+// decodeSide materialises an index from the sidecar region LoadIndexes
+// recorded, returning false when the region is internally inconsistent
+// (non-ascending keys, run lengths that do not sum to the value count). The
+// payload checksum makes that unreachable for a genuine sidecar, but a
+// fabricated checksum-colliding one must still never yield wrong answers —
+// the caller falls back to building from the operator.
+func (ix *opIndex) decodeSide(kind provenance.AssocKind) bool {
+	d := &sideReader{data: ix.side}
+	switch kind {
+	case provenance.AssocUnary:
+		ix.unary = d.readPairIdx()
+	case provenance.AssocAgg:
+		ix.agg = d.readPairIdx()
+	case provenance.AssocBinary:
+		nKeys := d.count()
+		keys := d.deltaCol(nKeys)
+		nVals := d.count()
+		offs := d.runOffs(nKeys, nVals)
+		lefts := d.deltaCol(nVals)
+		rights := d.deltaCol(nVals)
+		d.checkSorted(keys)
+		ix.binary = binIdx{keys: keys, offs: offs, lefts: lefts, rights: rights}
+	case provenance.AssocFlatten:
+		nKeys := d.count()
+		keys := d.deltaCol(nKeys)
+		ins := d.deltaCol(nKeys)
+		poss := make([]int64, 0, capCount(nKeys))
+		for i := 0; i < nKeys && d.err == nil; i++ {
+			poss = append(poss, int64(d.uvarint()))
+		}
+		d.checkSorted(keys)
+		ix.flatten = flatIdx{keys: keys, ins: ins, poss: poss}
+	}
+	if d.err != nil || d.pos != len(ix.side) {
+		ix.unary, ix.binary, ix.flatten, ix.agg = pairIdx{}, binIdx{}, flatIdx{}, pairIdx{}
+		return false
+	}
+	return true
+}
+
+// readPairIdx parses one pairIdx and validates its structure.
+func (d *sideReader) readPairIdx() pairIdx {
+	nKeys := d.count()
+	keys := d.deltaCol(nKeys)
+	nVals := d.count()
+	offs := d.runOffs(nKeys, nVals)
+	vals := d.deltaCol(nVals)
+	d.checkSorted(keys)
+	return pairIdx{keys: keys, offs: offs, vals: vals}
+}
+
+// sideReader reads varint primitives from the sidecar payload, remembering
+// the first error.
+type sideReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *sideReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	// Fast path: most deltas are a single byte.
+	if d.pos < len(d.data) {
+		if b := d.data[d.pos]; b < 0x80 {
+			d.pos++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated or overlong varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// skip advances past n varints without decoding their values, for the
+// structural skip-scan in LoadIndexes.
+func (d *sideReader) skip(n int) {
+	for i := 0; i < n && d.err == nil; i++ {
+		for {
+			if d.pos >= len(d.data) {
+				d.err = io.ErrUnexpectedEOF
+				return
+			}
+			b := d.data[d.pos]
+			d.pos++
+			if b < 0x80 {
+				break
+			}
+		}
+	}
+}
+
+func (d *sideReader) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *sideReader) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > maxSidecarCount {
+		d.err = fmt.Errorf("count %d exceeds limit", v)
+		return 0
+	}
+	return int(v)
+}
+
+// deltaCol reads n zigzag-delta varints with bounded-growth allocation, so a
+// lying count runs into EOF instead of forcing a huge allocation.
+func (d *sideReader) deltaCol(n int) []int64 {
+	out := make([]int64, 0, capCount(n))
+	var prev int64
+	for i := 0; i < n && d.err == nil; i++ {
+		u := d.uvarint()
+		prev += int64(u>>1) ^ -int64(u&1)
+		out = append(out, prev)
+	}
+	return out
+}
+
+// runOffs reads nKeys run lengths and folds them into the offset column,
+// requiring the lengths to sum exactly to nVals.
+func (d *sideReader) runOffs(nKeys, nVals int) []int32 {
+	offs := make([]int32, 0, capCount(nKeys)+1)
+	offs = append(offs, 0)
+	total := 0
+	for i := 0; i < nKeys && d.err == nil; i++ {
+		l := d.uvarint()
+		if l > maxSidecarCount || total+int(l) < total {
+			d.err = fmt.Errorf("run length %d exceeds limit", l)
+			return offs
+		}
+		total += int(l)
+		offs = append(offs, int32(total))
+	}
+	if d.err == nil && total != nVals {
+		d.err = fmt.Errorf("run lengths sum to %d, want %d values", total, nVals)
+	}
+	return offs
+}
+
+// checkSorted rejects key columns that are not strictly ascending — lookups
+// binary-search them.
+func (d *sideReader) checkSorted(keys []int64) {
+	if d.err != nil {
+		return
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			d.err = fmt.Errorf("key column not strictly ascending at %d", i)
+			return
+		}
+	}
+}
+
+// capCount bounds initial slice capacities against lying counts.
+func capCount(n int) int {
+	const max = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
+}

@@ -2,6 +2,7 @@ package backtrace
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"pebble/internal/engine"
@@ -80,23 +81,92 @@ func (t *Tracer) Observe(rec *obs.Recorder) *Tracer {
 	return t
 }
 
-// opIndex holds one operator's association indexes, built once on first use.
+// opIndex holds one operator's association indexes, built once on first use
+// (or installed wholesale from a persisted sidecar, see sidecar.go). The
+// indexes are flat sorted-array structures — columnar keys with offset-sliced
+// value runs — rather than maps: they build with O(1) allocations, look up
+// by binary search, and serialize verbatim.
 type opIndex struct {
-	once    sync.Once
-	unary   map[int64][]int64
-	binary  map[int64][]provenance.BinaryAssoc
-	flatten map[int64]flatSrc
-	agg     map[int64][]aggEntry
+	once sync.Once
+	// side is the operator's column region of a validated sidecar, installed
+	// by LoadIndexes; nil means build from the operator's associations. The
+	// region decodes on first use (see decodeSide).
+	side    []byte
+	unary   pairIdx
+	binary  binIdx
+	flatten flatIdx
+	agg     pairIdx
+}
+
+// pairIdx maps an output identifier to its associated input identifiers:
+// keys is sorted ascending (unique), and key i owns vals[offs[i]:offs[i+1]]
+// in association-row order.
+type pairIdx struct {
+	keys []int64
+	offs []int32
+	vals []int64
+}
+
+// lookup returns the values of one key (nil when absent).
+func (x *pairIdx) lookup(id int64) []int64 {
+	i, ok := findKey(x.keys, id)
+	if !ok {
+		return nil
+	}
+	return x.vals[x.offs[i]:x.offs[i+1]]
+}
+
+// binIdx maps an output identifier to its (left, right) input pairs; key i
+// owns lefts/rights[offs[i]:offs[i+1]].
+type binIdx struct {
+	keys   []int64
+	offs   []int32
+	lefts  []int64
+	rights []int64
+}
+
+// lookup returns the parallel left/right runs of one key (nil when absent).
+func (x *binIdx) lookup(id int64) ([]int64, []int64) {
+	i, ok := findKey(x.keys, id)
+	if !ok {
+		return nil, nil
+	}
+	return x.lefts[x.offs[i]:x.offs[i+1]], x.rights[x.offs[i]:x.offs[i+1]]
+}
+
+// flatIdx maps a flattened output identifier to its single (in, pos) origin.
+type flatIdx struct {
+	keys []int64
+	ins  []int64
+	poss []int64
+}
+
+// lookup returns the origin of one key.
+func (x *flatIdx) lookup(id int64) (flatSrc, bool) {
+	i, ok := findKey(x.keys, id)
+	if !ok {
+		return flatSrc{}, false
+	}
+	return flatSrc{in: x.ins[i], pos: int(x.poss[i])}, true
+}
+
+// findKey binary-searches the sorted key column.
+func findKey(keys []int64, id int64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == id
 }
 
 type flatSrc struct {
 	in  int64
 	pos int
-}
-
-type aggEntry struct {
-	in int64
-	pP int // 1-based position within the group (= nested collection)
 }
 
 // NewTracer returns a tracer over the captured run.
@@ -114,9 +184,19 @@ func (t *Tracer) Trace(startOID int, b *Structure) (*Result, error) {
 	return q.out, nil
 }
 
+// BuildIndexes eagerly builds the association indexes of every captured
+// operator — the rebuild counterpart of LoadIndexes for a freshly loaded
+// run, and the warm-up for query serving. On a lazily loaded run it
+// materialises every association bag.
+func (t *Tracer) BuildIndexes() {
+	for _, op := range t.run.Operators() {
+		t.indexFor(op)
+	}
+}
+
 // indexFor returns the operator's indexes, building them on first use. Only
-// the association kinds the operator actually captured allocate entries, so
-// the unused maps stay empty.
+// the association kind the operator actually captured is built — on a lazily
+// loaded run this is also the only bag that materialises.
 func (t *Tracer) indexFor(op *provenance.Operator) *opIndex {
 	v, ok := t.idx.Load(op.OID)
 	if !ok {
@@ -124,42 +204,177 @@ func (t *Tracer) indexFor(op *provenance.Operator) *opIndex {
 	}
 	ix := v.(*opIndex)
 	ix.once.Do(func() {
-		ix.unary = make(map[int64][]int64, len(op.Unary))
-		for _, a := range op.Unary {
-			ix.unary[a.Out] = append(ix.unary[a.Out], a.In)
-		}
-		ix.binary = make(map[int64][]provenance.BinaryAssoc, len(op.Binary))
-		for _, a := range op.Binary {
-			ix.binary[a.Out] = append(ix.binary[a.Out], a)
-		}
-		ix.flatten = make(map[int64]flatSrc, len(op.Flatten))
-		for _, a := range op.Flatten {
-			ix.flatten[a.Out] = flatSrc{in: a.In, pos: a.Pos}
-		}
-		ix.agg = make(map[int64][]aggEntry, len(op.Agg))
-		for _, a := range op.Agg {
-			for i, in := range a.Ins {
-				ix.agg[a.Out] = append(ix.agg[a.Out], aggEntry{in: in, pP: i + 1})
-			}
+		defer t.rec.StartSpan(obs.SpanIndexBuild)()
+		if ix.side == nil || !ix.decodeSide(op.AssocKind()) {
+			ix.build(op)
 		}
 	})
 	return ix
 }
 
-func (t *Tracer) unary(op *provenance.Operator) map[int64][]int64 {
-	return t.indexFor(op).unary
+// build constructs the flat index for the operator's association kind.
+func (ix *opIndex) build(op *provenance.Operator) {
+	switch op.AssocKind() {
+	case provenance.AssocUnary:
+		a := op.UnaryAssocs()
+		ix.unary = buildPairs(len(a),
+			func(i int) int64 { return a[i].Out },
+			func(i int) int64 { return a[i].In })
+	case provenance.AssocBinary:
+		ix.binary = buildBin(op.BinaryAssocs())
+	case provenance.AssocFlatten:
+		ix.flatten = buildFlat(op.FlattenAssocs())
+	case provenance.AssocAgg:
+		ix.agg = buildAgg(op.AggAssocs())
+	}
 }
 
-func (t *Tracer) binary(op *provenance.Operator) map[int64][]provenance.BinaryAssoc {
-	return t.indexFor(op).binary
+// orderByKey returns association-row indexes ordered by key, preserving row
+// order within equal keys; nil when the rows are already sorted — the common
+// case, since identifiers grow with partition-concatenated row order.
+func orderByKey(n int, key func(int) int64) []int {
+	sorted := true
+	for i := 1; i < n; i++ {
+		if key(i) < key(i-1) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return key(ord[a]) < key(ord[b]) })
+	return ord
 }
 
-func (t *Tracer) flatten(op *provenance.Operator) map[int64]flatSrc {
-	return t.indexFor(op).flatten
+// at resolves the i-th row under an optional reorder.
+func at(ord []int, i int) int {
+	if ord == nil {
+		return i
+	}
+	return ord[i]
 }
 
-func (t *Tracer) agg(op *provenance.Operator) map[int64][]aggEntry {
-	return t.indexFor(op).agg
+// countKeys counts distinct keys in ordered traversal, so the key and offset
+// columns allocate exactly once.
+func countKeys(n int, ord []int, key func(int) int64) int {
+	u := 0
+	for i := 0; i < n; i++ {
+		if i == 0 || key(at(ord, i)) != key(at(ord, i-1)) {
+			u++
+		}
+	}
+	return u
+}
+
+// buildPairs groups (key, val) association rows into a pairIdx with exactly
+// three allocations: count first, allocate once, fill.
+func buildPairs(n int, key, val func(int) int64) pairIdx {
+	ord := orderByKey(n, key)
+	u := countKeys(n, ord, key)
+	x := pairIdx{
+		keys: make([]int64, 0, u),
+		offs: make([]int32, 0, u+1),
+		vals: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		r := at(ord, i)
+		k := key(r)
+		if len(x.keys) == 0 || k != x.keys[len(x.keys)-1] {
+			x.keys = append(x.keys, k)
+			x.offs = append(x.offs, int32(i))
+		}
+		x.vals[i] = val(r)
+	}
+	x.offs = append(x.offs, int32(n))
+	return x
+}
+
+// buildBin groups binary associations by Out into parallel left/right runs.
+func buildBin(a []provenance.BinaryAssoc) binIdx {
+	n := len(a)
+	ord := orderByKey(n, func(i int) int64 { return a[i].Out })
+	u := countKeys(n, ord, func(i int) int64 { return a[i].Out })
+	x := binIdx{
+		keys:   make([]int64, 0, u),
+		offs:   make([]int32, 0, u+1),
+		lefts:  make([]int64, n),
+		rights: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		r := at(ord, i)
+		k := a[r].Out
+		if len(x.keys) == 0 || k != x.keys[len(x.keys)-1] {
+			x.keys = append(x.keys, k)
+			x.offs = append(x.offs, int32(i))
+		}
+		x.lefts[i] = a[r].Left
+		x.rights[i] = a[r].Right
+	}
+	x.offs = append(x.offs, int32(n))
+	return x
+}
+
+// buildFlat indexes flatten associations by Out. Outputs are unique by
+// construction; should a duplicate ever appear, the last association row
+// wins, matching the previous map-based build.
+func buildFlat(a []provenance.FlattenAssoc) flatIdx {
+	n := len(a)
+	ord := orderByKey(n, func(i int) int64 { return a[i].Out })
+	u := countKeys(n, ord, func(i int) int64 { return a[i].Out })
+	x := flatIdx{
+		keys: make([]int64, 0, u),
+		ins:  make([]int64, 0, u),
+		poss: make([]int64, 0, u),
+	}
+	for i := 0; i < n; i++ {
+		r := at(ord, i)
+		k := a[r].Out
+		if len(x.keys) > 0 && k == x.keys[len(x.keys)-1] {
+			x.ins[len(x.ins)-1] = a[r].In
+			x.poss[len(x.poss)-1] = int64(a[r].Pos)
+			continue
+		}
+		x.keys = append(x.keys, k)
+		x.ins = append(x.ins, a[r].In)
+		x.poss = append(x.poss, int64(a[r].Pos))
+	}
+	return x
+}
+
+// buildAgg flattens aggregation groups into one pairIdx: group Outs as keys,
+// the concatenated Ins as values, so an input's 1-based group position p_P
+// is its offset within the key's value run plus one. The nested per-element
+// append of the previous build is gone — the Ins column is counted first and
+// allocated once.
+func buildAgg(a []provenance.AggAssoc) pairIdx {
+	n := len(a)
+	ord := orderByKey(n, func(i int) int64 { return a[i].Out })
+	u := countKeys(n, ord, func(i int) int64 { return a[i].Out })
+	total := 0
+	for i := range a {
+		total += len(a[i].Ins)
+	}
+	x := pairIdx{
+		keys: make([]int64, 0, u),
+		offs: make([]int32, 0, u+1),
+		vals: make([]int64, 0, total),
+	}
+	for i := 0; i < n; i++ {
+		r := at(ord, i)
+		k := a[r].Out
+		if len(x.keys) == 0 || k != x.keys[len(x.keys)-1] {
+			x.keys = append(x.keys, k)
+			x.offs = append(x.offs, int32(len(x.vals)))
+		}
+		x.vals = append(x.vals, a[r].Ins...)
+	}
+	x.offs = append(x.offs, int32(len(x.vals)))
+	return x
 }
 
 // tracer is the per-query state.
@@ -248,10 +463,10 @@ func applyStatic(op *provenance.Operator, b *Structure, inputIdx int) {
 // backtraceUnary is Alg. 3 for filter, select, and map: join b's ids against
 // the ⟨id_i, id_o⟩ associations, then undo manipulations and record accesses.
 func (tr *tracer) backtraceUnary(op *provenance.Operator, b *Structure) *Structure {
-	idx := tr.t.unary(op)
+	idx := tr.t.indexFor(op)
 	next := &Structure{}
 	for _, it := range b.Items {
-		for _, in := range idx[it.ID] {
+		for _, in := range idx.unary.lookup(it.ID) {
 			next.Items = append(next.Items, &Item{ID: in, Tree: it.Tree.Clone()})
 		}
 	}
@@ -264,10 +479,10 @@ func (tr *tracer) backtraceUnary(op *provenance.Operator, b *Structure) *Structu
 // step substitutes each item's concrete position and merges the trees of
 // items originating from the same input item.
 func (tr *tracer) backtraceFlatten(op *provenance.Operator, b *Structure) *Structure {
-	idx := tr.t.flatten(op)
+	idx := tr.t.indexFor(op)
 	next := &Structure{}
 	for _, it := range b.Items {
-		a, ok := idx[it.ID]
+		a, ok := idx.flatten.lookup(it.ID)
 		if !ok {
 			continue
 		}
@@ -290,12 +505,13 @@ func (tr *tracer) backtraceFlatten(op *provenance.Operator, b *Structure) *Struc
 // backtraceAggregation is Alg. 4, tracing aggregation and nesting back to
 // the input of the preceding grouping.
 func (tr *tracer) backtraceAggregation(op *provenance.Operator, b *Structure) *Structure {
-	idx := tr.t.agg(op)
+	idx := tr.t.indexFor(op)
 	aggMs := mappings(op, false)
 	keyMs := mappings(op, true)
 	next := &Structure{}
 	for _, it := range b.Items {
-		for _, en := range idx[it.ID] {
+		for j, in := range idx.agg.lookup(it.ID) {
+			pP := j + 1 // 1-based position within the group (= nested collection)
 			t := it.Tree.Clone()
 			inProv := false
 			for _, m := range aggMs {
@@ -303,7 +519,7 @@ func (tr *tracer) backtraceAggregation(op *provenance.Operator, b *Structure) *S
 				if out.HasPlaceholder() {
 					// Bag nesting: this input contributes exactly to the
 					// element at its own position p_P (Alg. 4, l. 7).
-					out = substitutePos(out, en.pP)
+					out = substitutePos(out, pP)
 					if len(t.Find(out)) == 0 {
 						// A query may address the whole nested collection
 						// rather than individual positions; then every group
@@ -336,7 +552,7 @@ func (tr *tracer) backtraceAggregation(op *provenance.Operator, b *Structure) *S
 			for _, a := range op.Inputs[0].Accessed {
 				t.AccessPath(a, op.OID)
 			}
-			next.Items = append(next.Items, &Item{ID: en.in, Tree: t})
+			next.Items = append(next.Items, &Item{ID: in, Tree: t})
 		}
 	}
 	return next.MergeByID()
@@ -379,19 +595,20 @@ func stripIndex(p path.Path) path.Path {
 // item ids of its input, with tree nodes of the other side's schema removed
 // and the side's join-key paths marked as accessed.
 func (tr *tracer) backtraceJoin(op *provenance.Operator, b *Structure) (*Structure, *Structure) {
-	idx := tr.t.binary(op)
+	idx := tr.t.indexFor(op)
 	left, right := &Structure{}, &Structure{}
 	for _, it := range b.Items {
-		for _, a := range idx[it.ID] {
-			if a.Left != -1 {
+		lefts, rights := idx.binary.lookup(it.ID)
+		for k := range lefts {
+			if lefts[k] != -1 {
 				lt := it.Tree.Clone()
 				lt.PruneToSchema(op.Inputs[0].Schema)
-				left.Items = append(left.Items, &Item{ID: a.Left, Tree: lt})
+				left.Items = append(left.Items, &Item{ID: lefts[k], Tree: lt})
 			}
-			if a.Right != -1 {
+			if rights[k] != -1 {
 				rt := it.Tree.Clone()
 				rt.PruneToSchema(op.Inputs[1].Schema)
-				right.Items = append(right.Items, &Item{ID: a.Right, Tree: rt})
+				right.Items = append(right.Items, &Item{ID: rights[k], Tree: rt})
 			}
 		}
 	}
@@ -409,15 +626,16 @@ func (tr *tracer) backtraceJoin(op *provenance.Operator, b *Structure) (*Structu
 // identifier for the chosen side is undefined (-1) originate from the other
 // input and are filtered out.
 func (tr *tracer) backtraceUnion(op *provenance.Operator, b *Structure) (*Structure, *Structure) {
-	idx := tr.t.binary(op)
+	idx := tr.t.indexFor(op)
 	left, right := &Structure{}, &Structure{}
 	for _, it := range b.Items {
-		for _, a := range idx[it.ID] {
-			if a.Left != -1 {
-				left.Items = append(left.Items, &Item{ID: a.Left, Tree: it.Tree.Clone()})
+		lefts, rights := idx.binary.lookup(it.ID)
+		for k := range lefts {
+			if lefts[k] != -1 {
+				left.Items = append(left.Items, &Item{ID: lefts[k], Tree: it.Tree.Clone()})
 			}
-			if a.Right != -1 {
-				right.Items = append(right.Items, &Item{ID: a.Right, Tree: it.Tree.Clone()})
+			if rights[k] != -1 {
+				right.Items = append(right.Items, &Item{ID: rights[k], Tree: it.Tree.Clone()})
 			}
 		}
 	}

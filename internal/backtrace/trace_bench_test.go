@@ -1,0 +1,82 @@
+package backtrace_test
+
+import (
+	"sort"
+	"testing"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/provenance"
+)
+
+// aggRun captures a run whose aggregation operator carries a large
+// association bag: rows groups folded into keys lists.
+func aggRun(b *testing.B, rows, keys int) *provenance.Run {
+	b.Helper()
+	var vals []nested.Value
+	for i := 0; i < rows; i++ {
+		vals = append(vals, nested.Item(
+			nested.F("k", nested.Int(int64(i%keys))),
+			nested.F("v", nested.Int(int64(i))),
+		))
+	}
+	p := engine.NewPipeline()
+	src := p.Source("in")
+	p.Aggregate(src,
+		[]engine.GroupKey{engine.Key("k")},
+		[]engine.AggSpec{engine.Agg(engine.AggCollectList, "v", "vs")},
+	)
+	gen := engine.NewIDGen(1)
+	inputs := map[string]*engine.Dataset{"in": engine.NewDataset("in", vals, 4, gen)}
+	_, run, err := provenance.Capture(p, inputs, engine.Options{Partitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkTracerIndexBuild pins the counted-first flat index build against
+// the nested-map build it replaced (kept below as legacyAggIndex): the flat
+// build allocates three exact-size columns where the map grew per-key
+// buckets and rehashed along the way.
+func BenchmarkTracerIndexBuild(b *testing.B) {
+	run := aggRun(b, 40000, 500)
+	var agg *provenance.Operator
+	for _, op := range run.Operators() {
+		if op.AssocKind() == provenance.AssocAgg {
+			agg = op
+		}
+	}
+	if agg == nil {
+		b.Fatal("no aggregation operator captured")
+	}
+
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			backtrace.NewTracer(run).BuildIndexes()
+		}
+	})
+	b.Run("legacy-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			legacyAggIndex(agg.AggAssocs())
+		}
+	})
+}
+
+// legacyAggIndex is the pre-flattening index shape: a per-output map of
+// grown value slices plus a sorted key slice for deterministic iteration.
+func legacyAggIndex(assocs []provenance.AggAssoc) (map[int64][]int64, []int64) {
+	m := make(map[int64][]int64)
+	for _, a := range assocs {
+		m[a.Out] = append(m[a.Out], a.Ins...)
+	}
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return m, keys
+}

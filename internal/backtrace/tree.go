@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"pebble/internal/path"
@@ -53,7 +54,9 @@ func NewTree() *Tree {
 	return &Tree{Root: &Node{}}
 }
 
-// key identifies a node among its siblings.
+// key identifies a node among its siblings. It is the rendered form used by
+// PathString and the tree printer; the tree-walking paths compare nkey pairs
+// instead so that lookups never format strings.
 func (n *Node) key() string {
 	if n.Name != "" {
 		return n.Name
@@ -64,10 +67,41 @@ func (n *Node) key() string {
 	return fmt.Sprintf("#%d", n.Pos)
 }
 
-// child returns the child with the given key.
+// nkey is the structural identity of a node among its siblings: an attribute
+// name, or — when the name is empty — a 1-based position (path.Pos for the
+// unresolved [pos] placeholder).
+type nkey struct {
+	name string
+	pos  int
+}
+
+// isPos reports whether the key identifies a position node.
+func (k nkey) isPos() bool { return k.name == "" }
+
+// newNode returns a fresh unattached node with this identity.
+func (k nkey) newNode() *Node { return &Node{Name: k.name, Pos: k.pos} }
+
+// keyToNKey parses the rendered key form back into its structural identity.
+func keyToNKey(key string) nkey {
+	if strings.HasPrefix(key, "#") {
+		if key == "#pos" {
+			return nkey{pos: path.Pos}
+		}
+		pos, _ := strconv.Atoi(key[1:])
+		return nkey{pos: pos}
+	}
+	return nkey{name: key}
+}
+
+// child returns the child with the given rendered key.
 func (n *Node) child(key string) *Node {
+	return n.childK(keyToNKey(key))
+}
+
+// childK returns the child with the given structural identity.
+func (n *Node) childK(k nkey) *Node {
 	for _, c := range n.Children {
-		if c.key() == key {
+		if c.Name == k.name && (k.name != "" || c.Pos == k.pos) {
 			return c
 		}
 	}
@@ -152,65 +186,61 @@ func (n *Node) walk(f func(*Node)) {
 // IsEmpty reports whether the tree has no nodes besides the root.
 func (t *Tree) IsEmpty() bool { return len(t.Root.Children) == 0 }
 
-// pathKeys expands a path into per-level node keys: a step a[2] expands into
-// the attribute key "a" followed by the position key "#2".
-func pathKeys(p path.Path) []string {
-	var keys []string
+// pathNKeys expands a path into per-level structural node keys: a step a[2]
+// expands into the attribute key "a" followed by the position key 2.
+func pathNKeys(p path.Path) []nkey {
+	keys := make([]nkey, 0, len(p))
 	for _, s := range p {
 		if s.Attr != "" {
-			keys = append(keys, s.Attr)
+			keys = append(keys, nkey{name: s.Attr})
 		}
-		switch {
-		case s.Index == path.NoIndex:
-		case s.Index == path.Pos:
-			keys = append(keys, "#pos")
-		default:
-			keys = append(keys, fmt.Sprintf("#%d", s.Index))
+		if s.Index != path.NoIndex {
+			keys = append(keys, nkey{pos: s.Index})
 		}
 	}
 	return keys
-}
-
-func nodeFromKey(key string) *Node {
-	if strings.HasPrefix(key, "#") {
-		if key == "#pos" {
-			return &Node{Pos: path.Pos}
-		}
-		var pos int
-		fmt.Sscanf(key, "#%d", &pos)
-		return &Node{Pos: pos}
-	}
-	return &Node{Name: key}
 }
 
 // Ensure creates (or finds) the node at path p. Newly created nodes get the
 // given contributing flag; existing nodes are left unchanged.
 func (t *Tree) Ensure(p path.Path, contributing bool) *Node {
 	cur := t.Root
-	for _, key := range pathKeys(p) {
-		next := cur.child(key)
-		if next == nil {
-			next = nodeFromKey(key)
-			next.Contributing = contributing
-			cur.addChild(next)
+	for _, s := range p {
+		if s.Attr != "" {
+			cur = cur.ensureChild(nkey{name: s.Attr}, contributing)
 		}
-		cur = next
+		if s.Index != path.NoIndex {
+			cur = cur.ensureChild(nkey{pos: s.Index}, contributing)
+		}
 	}
 	return cur
+}
+
+// ensureChild finds or creates the child with identity k; a created node
+// gets the given contributing flag.
+func (n *Node) ensureChild(k nkey, contributing bool) *Node {
+	next := n.childK(k)
+	if next == nil {
+		next = k.newNode()
+		next.Contributing = contributing
+		n.addChild(next)
+	}
+	return next
 }
 
 // EnsureContributing creates the node at path p and marks every node along
 // the path as contributing (used when building the query tree).
 func (t *Tree) EnsureContributing(p path.Path) *Node {
 	cur := t.Root
-	for _, key := range pathKeys(p) {
-		next := cur.child(key)
-		if next == nil {
-			next = nodeFromKey(key)
-			cur.addChild(next)
+	for _, s := range p {
+		if s.Attr != "" {
+			cur = cur.ensureChild(nkey{name: s.Attr}, true)
+			cur.Contributing = true
 		}
-		next.Contributing = true
-		cur = next
+		if s.Index != path.NoIndex {
+			cur = cur.ensureChild(nkey{pos: s.Index}, true)
+			cur.Contributing = true
+		}
 	}
 	return cur
 }
@@ -221,19 +251,19 @@ func (t *Tree) EnsureContributing(p path.Path) *Node {
 // the attribute node itself.
 func (t *Tree) Find(p path.Path) []*Node {
 	nodes := []*Node{t.Root}
-	for _, key := range pathKeys(p) {
+	for _, k := range pathNKeys(p) {
 		var next []*Node
 		for _, n := range nodes {
-			if key == "#pos" {
+			if k.isPos() && k.pos == path.Pos {
 				next = append(next, n.posChildren()...)
 				continue
 			}
-			if c := n.child(key); c != nil {
+			if c := n.childK(k); c != nil {
 				next = append(next, c)
 			}
 			// A concrete position also matches an unresolved placeholder.
-			if strings.HasPrefix(key, "#") && key != "#pos" {
-				if c := n.child("#pos"); c != nil {
+			if k.isPos() {
+				if c := n.childK(nkey{pos: path.Pos}); c != nil {
 					next = append(next, c)
 				}
 			}
@@ -251,20 +281,18 @@ func (t *Tree) Find(p path.Path) []*Node {
 // otherwise the missing nodes are created with c = false (they influence the
 // queried items but are not needed to reproduce them) and marked likewise.
 func (t *Tree) AccessPath(a path.Path, oid int) {
-	keys := pathKeys(a)
-	t.accessWalk(t.Root, keys, oid)
+	t.accessWalk(t.Root, pathNKeys(a), oid)
 }
 
-func (t *Tree) accessWalk(cur *Node, keys []string, oid int) {
+func (t *Tree) accessWalk(cur *Node, keys []nkey, oid int) {
 	if len(keys) == 0 {
 		return
 	}
-	key := keys[0]
-	if key == "#pos" {
+	k := keys[0]
+	if k.isPos() && k.pos == path.Pos {
 		existing := cur.posChildren()
 		if len(existing) == 0 {
-			c := nodeFromKey(key)
-			c.Contributing = false
+			c := k.newNode()
 			cur.addChild(c)
 			existing = []*Node{c}
 		}
@@ -274,12 +302,7 @@ func (t *Tree) accessWalk(cur *Node, keys []string, oid int) {
 		}
 		return
 	}
-	next := cur.child(key)
-	if next == nil {
-		next = nodeFromKey(key)
-		next.Contributing = false
-		cur.addChild(next)
-	}
+	next := cur.ensureChild(k, false)
 	next.MarkAccess(oid)
 	t.accessWalk(next, keys[1:], oid)
 }
@@ -356,16 +379,16 @@ func (t *Tree) ApplyMappings(ms []Mapping, oid int) {
 // attach places a detached node at the given input path, renaming it to the
 // path's last component and merging with any existing node there.
 func (t *Tree) attach(n *Node, in path.Path, oid int) {
-	keys := pathKeys(in)
+	keys := pathNKeys(in)
 	if len(keys) == 0 {
 		return
 	}
 	last := keys[len(keys)-1]
 	parent := t.Root
-	for _, key := range keys[:len(keys)-1] {
-		next := parent.child(key)
+	for _, k := range keys[:len(keys)-1] {
+		next := parent.childK(k)
 		if next == nil {
-			next = nodeFromKey(key)
+			next = k.newNode()
 			next.Contributing = n.Contributing
 			parent.addChild(next)
 		} else if n.Contributing {
@@ -374,10 +397,9 @@ func (t *Tree) attach(n *Node, in path.Path, oid int) {
 		parent = next
 	}
 	// Rename the node to the destination key.
-	renamed := nodeFromKey(last)
-	n.Name, n.Pos = renamed.Name, renamed.Pos
+	n.Name, n.Pos = last.name, last.pos
 	n.MarkManip(oid)
-	if existing := parent.child(last); existing != nil {
+	if existing := parent.childK(last); existing != nil {
 		existing.mergeFrom(n)
 		return
 	}
@@ -394,7 +416,7 @@ func (n *Node) mergeFrom(o *Node) {
 	}
 	n.Contributing = n.Contributing || o.Contributing
 	for _, oc := range o.Children {
-		if existing := n.child(oc.key()); existing != nil {
+		if existing := n.childK(nkey{name: oc.Name, pos: oc.Pos}); existing != nil {
 			existing.mergeFrom(oc)
 		} else {
 			oc.Parent = nil
@@ -434,13 +456,13 @@ func (t *Tree) SubstitutePlaceholder(prefix path.Path, pos int) {
 		attr[len(attr)-1].Index = path.NoIndex
 	}
 	for _, n := range t.Find(attr) {
-		ph := n.child("#pos")
+		ph := n.childK(nkey{pos: path.Pos})
 		if ph == nil {
 			continue
 		}
 		n.removeChild(ph)
 		ph.Pos = pos
-		if existing := n.child(ph.key()); existing != nil {
+		if existing := n.childK(nkey{pos: ph.Pos}); existing != nil {
 			existing.mergeFrom(ph)
 		} else {
 			n.addChild(ph)

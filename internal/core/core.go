@@ -103,8 +103,8 @@ type Captured struct {
 	Result     *engine.Result
 	Provenance *provenance.Run
 
-	tracerOnce sync.Once
-	tracer     *backtrace.Tracer
+	tracerMu sync.Mutex
+	tracer   *backtrace.Tracer // guarded by tracerMu
 
 	// rec is the session recorder active when the capture ran; queries on
 	// this capture report their match and backtrace spans into it.
@@ -113,11 +113,35 @@ type Captured struct {
 
 // Tracer returns the query tracer over the captured provenance; its
 // association indexes are built lazily and shared across all queries on this
-// capture.
+// capture (until AttachProvenance swaps in a reloaded run).
 func (c *Captured) Tracer() *backtrace.Tracer {
-	c.tracerOnce.Do(func() { c.tracer = backtrace.NewTracer(c.Provenance).Observe(c.rec) })
+	c.tracerMu.Lock()
+	defer c.tracerMu.Unlock()
+	if c.tracer == nil {
+		c.tracer = backtrace.NewTracer(c.Provenance).Observe(c.rec)
+	}
 	return c.tracer
 }
+
+// AttachProvenance swaps in a (typically reloaded) provenance run, replacing
+// the capture's in-memory run for every later query. tr, when non-nil, is a
+// prepared tracer over that run — e.g. one whose indexes were installed from
+// a persisted sidecar; nil builds a fresh tracer. The session recorder is
+// (re)attached either way, so query spans keep reporting.
+func (c *Captured) AttachProvenance(run *provenance.Run, tr *backtrace.Tracer) {
+	if tr == nil {
+		tr = backtrace.NewTracer(run)
+	}
+	c.tracerMu.Lock()
+	defer c.tracerMu.Unlock()
+	c.Provenance = run
+	c.tracer = tr.Observe(c.rec)
+}
+
+// Recorder returns the session recorder attached when the capture ran (nil
+// when the session had none) — reload paths report their load and
+// index-install phases into it.
+func (c *Captured) Recorder() *obs.Recorder { return c.rec }
 
 // Stats returns the observability snapshot for this capture. With a session
 // recorder attached it is the full per-operator counter and span report;

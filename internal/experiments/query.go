@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// QuerySweepRow is one scenario of the query-side raw-speed sweep: the same
+// persisted run reloaded and traced through the cold path (eager decode, per
+// operator index rebuild) and through the warm path (lazy column decode plus
+// a persisted index sidecar), together with the interpreted vs compiled
+// tree-pattern match times and the lazy-decode byte accounting of a
+// single-operator trace.
+type QuerySweepRow struct {
+	Scenario     string `json:"scenario"`
+	SimGB        int    `json:"sim_gb"`
+	StreamBytes  int64  `json:"stream_bytes"`
+	SidecarBytes int64  `json:"sidecar_bytes"`
+	// Cold is reload-to-answer without any persisted help: eager ReadRun, a
+	// fresh tracer rebuilding every operator index, and a first trace. Warm
+	// is the same over the same bytes via ReadRunLazy plus LoadIndexes. The
+	// question-answer phase proper runs on ready indexes and is identical on
+	// both paths; it is reported separately as QuestionTrace.
+	Cold          time.Duration `json:"cold_reload_trace_ns"`
+	Warm          time.Duration `json:"warm_reload_trace_ns"`
+	Speedup       float64       `json:"cold_over_warm"`
+	QuestionTrace time.Duration `json:"question_trace_ns"`
+	// Byte accounting of a single-operator trace on a fresh lazy run: only
+	// the traced operator's association region may materialise.
+	AssocBytesTotal   int64 `json:"assoc_bytes_total"`
+	AssocBytesDecoded int64 `json:"assoc_bytes_decoded_single_op"`
+	LazyStrictlyFewer bool  `json:"lazy_strictly_fewer"`
+	// Interpreted vs compiled tree-pattern matching over the full result,
+	// both as sequential per-item loops so parallelism cancels out.
+	InterpMatch   time.Duration `json:"interp_match_ns"`
+	CompiledMatch time.Duration `json:"compiled_match_ns"`
+	MatchSpeedup  float64       `json:"interp_over_compiled"`
+	Items         int           `json:"traced_items"`
+	// Identical asserts the acceptance contract: the rendered backtrace
+	// results of the eager, lazy, and lazy+sidecar load paths are identical.
+	Identical bool `json:"identical_results"`
+}
+
+// QuerySweep measures the reload-and-trace paths for every scenario: capture
+// once, persist the run (v2 stream) and its index sidecar, then answer the
+// scenario's provenance question cold (eager decode + index rebuild) and
+// warm (lazy decode + sidecar) over the identical bytes. The two closures
+// are interleaved per round (measurePair), so allocator drift cancels out.
+func QuerySweep(cfg Config, sweep Sweep) ([]QuerySweepRow, error) {
+	cfg = cfg.withDefaults()
+	gb := 10
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	var rows []QuerySweepRow
+	for _, sc := range workload.AllScenarios() {
+		row, err := querySweepScenario(cfg, sc, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func querySweepScenario(cfg Config, sc workload.Scenario, scale workload.Scale) (QuerySweepRow, error) {
+	inputs := sc.Input(scale, cfg.Partitions)
+	pipe := sc.Build()
+	res, run, err := provenance.Capture(pipe, inputs, cfg.options())
+	if err != nil {
+		return QuerySweepRow{}, err
+	}
+	sink := pipe.Sink().ID()
+
+	// Persist the run and build its sidecar the way pebble-shell `save` does:
+	// from a lazy reload of the exact bytes written (the sidecar is keyed by
+	// the stream's content hash).
+	var stream bytes.Buffer
+	if _, err := run.WriteTo(&stream); err != nil {
+		return QuerySweepRow{}, err
+	}
+	lazyRun, err := provenance.ReadRunLazy(stream.Bytes())
+	if err != nil {
+		return QuerySweepRow{}, err
+	}
+	var sidecar bytes.Buffer
+	if _, err := backtrace.NewTracer(lazyRun).WriteIndexes(&sidecar); err != nil {
+		return QuerySweepRow{}, err
+	}
+	row := QuerySweepRow{
+		Scenario:     sc.Name,
+		SimGB:        scale.SimGB,
+		StreamBytes:  int64(stream.Len()),
+		SidecarBytes: int64(sidecar.Len()),
+	}
+
+	// Reload-to-answer: both closures load the identical bytes, make every
+	// operator index query-ready (cold rebuilds them, warm installs the
+	// sidecar), and answer a first one-item trace. The walk cost of the full
+	// scenario question is identical on ready indexes either way and is
+	// measured separately below, so the closures isolate what the tentpole
+	// changes: decode and index readiness.
+	probe, probeItem, err := probeQuestion(lazyRun)
+	if err != nil {
+		return QuerySweepRow{}, err
+	}
+	cold := func() error {
+		r, err := provenance.ReadRun(bytes.NewReader(stream.Bytes()))
+		if err != nil {
+			return err
+		}
+		tr := backtrace.NewTracer(r)
+		tr.BuildIndexes()
+		_, err = tr.Trace(probe, probeItem.Clone())
+		return err
+	}
+	warm := func() error {
+		r, err := provenance.ReadRunLazy(stream.Bytes())
+		if err != nil {
+			return err
+		}
+		tr := backtrace.NewTracer(r)
+		if err := tr.LoadIndexes(sidecar.Bytes()); err != nil {
+			return err
+		}
+		_, err = tr.Trace(probe, probeItem.Clone())
+		return err
+	}
+	loops, err := calibrate(warm)
+	if err != nil {
+		return QuerySweepRow{}, err
+	}
+	if row.Cold, row.Warm, err = measurePair(cfg, repeat(loops, cold), repeat(loops, warm)); err != nil {
+		return QuerySweepRow{}, err
+	}
+	row.Cold /= time.Duration(loops)
+	row.Warm /= time.Duration(loops)
+	if row.Warm > 0 {
+		row.Speedup = float64(row.Cold) / float64(row.Warm)
+	}
+
+	// The question-answer phase on ready indexes: the scenario's full pattern
+	// question against a warm tracer (this cost is shared by both paths).
+	question := sc.Pattern.Match(res.Output)
+	warmTracer := backtrace.NewTracer(lazyRun)
+	if err := warmTracer.LoadIndexes(sidecar.Bytes()); err != nil {
+		return QuerySweepRow{}, err
+	}
+	if row.QuestionTrace, err = timeIt(cfg, func() error {
+		traced, err := warmTracer.Trace(sink, question.Clone())
+		if err != nil {
+			return err
+		}
+		row.Items = tracedItems(traced)
+		return nil
+	}); err != nil {
+		return QuerySweepRow{}, err
+	}
+
+	// Cross-check: the three load paths must answer byte-identically.
+	renders := make([]string, 0, 3)
+	for _, load := range []func() (*provenance.Run, *backtrace.Tracer, error){
+		func() (*provenance.Run, *backtrace.Tracer, error) {
+			r, err := provenance.ReadRun(bytes.NewReader(stream.Bytes()))
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, backtrace.NewTracer(r), nil
+		},
+		func() (*provenance.Run, *backtrace.Tracer, error) {
+			r, err := provenance.ReadRunLazy(stream.Bytes())
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, backtrace.NewTracer(r), nil
+		},
+		func() (*provenance.Run, *backtrace.Tracer, error) {
+			r, err := provenance.ReadRunLazy(stream.Bytes())
+			if err != nil {
+				return nil, nil, err
+			}
+			tr := backtrace.NewTracer(r)
+			if err := tr.LoadIndexes(sidecar.Bytes()); err != nil {
+				return nil, nil, err
+			}
+			return r, tr, nil
+		},
+	} {
+		_, tr, err := load()
+		if err != nil {
+			return QuerySweepRow{}, err
+		}
+		traced, err := tr.Trace(sink, question.Clone())
+		if err != nil {
+			return QuerySweepRow{}, err
+		}
+		renders = append(renders, RenderTraceResult(traced))
+	}
+	row.Identical = renders[0] == renders[1] && renders[1] == renders[2]
+
+	// Single-operator trace on a fresh lazy run: only the probed operator's
+	// association region materialises (the walk never decodes source bags),
+	// so the decoded share must be strictly below the stream total.
+	if row.AssocBytesDecoded, row.AssocBytesTotal, err = singleOpProbe(stream.Bytes()); err != nil {
+		return QuerySweepRow{}, err
+	}
+	row.LazyStrictlyFewer = row.AssocBytesDecoded < row.AssocBytesTotal
+
+	// Interpreted vs compiled matching, both as sequential per-item loops.
+	compiled := sc.Pattern.Compile()
+	rowsOut := res.Output.Rows()
+	interp := func() error {
+		for _, r := range rowsOut {
+			sc.Pattern.MatchItem(r.Value)
+		}
+		return nil
+	}
+	comp := func() error {
+		for _, r := range rowsOut {
+			compiled.MatchItem(r.Value)
+		}
+		return nil
+	}
+	mloops, err := calibrate(comp)
+	if err != nil {
+		return QuerySweepRow{}, err
+	}
+	if row.InterpMatch, row.CompiledMatch, err = measurePair(cfg, repeat(mloops, interp), repeat(mloops, comp)); err != nil {
+		return QuerySweepRow{}, err
+	}
+	row.InterpMatch /= time.Duration(mloops)
+	row.CompiledMatch /= time.Duration(mloops)
+	if row.CompiledMatch > 0 {
+		row.MatchSpeedup = float64(row.InterpMatch) / float64(row.CompiledMatch)
+	}
+	return row, nil
+}
+
+// calibrate picks an inner iteration count that stretches one timed region of
+// fn to roughly measureTarget. Sub-millisecond closures otherwise sample the
+// collector's pauses instead of their own cost — the timed region must
+// amortise allocation over many runs for the pair medians to converge.
+func calibrate(fn func() error) (int, error) {
+	if err := fn(); err != nil { // warm once before timing
+		return 0, err
+	}
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	once := time.Since(start)
+	const measureTarget = 25 * time.Millisecond
+	loops := 1
+	if once > 0 {
+		loops = int(measureTarget / once)
+	}
+	if loops < 1 {
+		loops = 1
+	}
+	if loops > 4096 {
+		loops = 4096
+	}
+	return loops, nil
+}
+
+// repeat wraps fn so one timed call runs it loops times.
+func repeat(loops int, fn func() error) func() error {
+	return func() error {
+		for i := 0; i < loops; i++ {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// findProbe returns the first operator sitting directly above sources — the
+// single-operator trace target.
+func findProbe(run *provenance.Run) (*provenance.Operator, error) {
+	for _, op := range run.Operators() {
+		if op.Type == engine.OpSource {
+			continue
+		}
+		aboveSources := true
+		for _, in := range op.Inputs {
+			if pred, ok := run.Op(in.Pred); !ok || pred.Type != engine.OpSource {
+				aboveSources = false
+				break
+			}
+		}
+		if aboveSources {
+			return op, nil
+		}
+	}
+	return nil, fmt.Errorf("no operator directly above a source")
+}
+
+// probeOuts collects up to n output identifiers of the operator's captured
+// associations.
+func probeOuts(op *provenance.Operator, n int) []int64 {
+	var out []int64
+	add := func(id int64) bool {
+		out = append(out, id)
+		return len(out) >= n
+	}
+	switch op.AssocKind() {
+	case provenance.AssocUnary:
+		for _, a := range op.UnaryAssocs() {
+			if add(a.Out) {
+				break
+			}
+		}
+	case provenance.AssocBinary:
+		for _, a := range op.BinaryAssocs() {
+			if add(a.Out) {
+				break
+			}
+		}
+	case provenance.AssocFlatten:
+		for _, a := range op.FlattenAssocs() {
+			if add(a.Out) {
+				break
+			}
+		}
+	case provenance.AssocAgg:
+		for _, a := range op.AggAssocs() {
+			if add(a.Out) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// probeQuestion builds the one-item first-trace question of the reload
+// closures: a single output of the operator directly above the sources.
+func probeQuestion(run *provenance.Run) (oid int, b *backtrace.Structure, err error) {
+	probe, err := findProbe(run)
+	if err != nil {
+		return 0, nil, err
+	}
+	outs := probeOuts(probe, 1)
+	if len(outs) == 0 {
+		return 0, nil, fmt.Errorf("operator %d captured no associations", probe.OID)
+	}
+	b = backtrace.NewStructure()
+	b.Add(outs[0], backtrace.NewTree())
+	return probe.OID, b, nil
+}
+
+// singleOpProbe traces a handful of outputs of the first operator sitting
+// directly above sources on a fresh lazy run and returns the decoded vs
+// total association bytes.
+func singleOpProbe(stream []byte) (decoded, total int64, err error) {
+	run, err := provenance.ReadRunLazy(stream)
+	if err != nil {
+		return 0, 0, err
+	}
+	probe, err := findProbe(run)
+	if err != nil {
+		return 0, 0, err
+	}
+	b := backtrace.NewStructure()
+	for _, out := range probeOuts(probe, 64) {
+		b.Add(out, backtrace.NewTree())
+	}
+	if _, err := backtrace.Trace(run, probe.OID, b); err != nil {
+		return 0, 0, err
+	}
+	return run.AssocBytesDecoded(), run.AssocBytesTotal(), nil
+}
+
+// tracedItems counts the traced input items across all sources.
+func tracedItems(r *backtrace.Result) int {
+	n := 0
+	for _, s := range r.BySource {
+		n += s.Len()
+	}
+	return n
+}
+
+// RenderTraceResult renders a backtrace result deterministically (sources in
+// ascending operator order, items in ascending identifier order) — the
+// byte-identity yardstick of the load-path cross-checks.
+func RenderTraceResult(r *backtrace.Result) string {
+	var oids []int
+	for oid := range r.BySource {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	var sb strings.Builder
+	for _, oid := range oids {
+		fmt.Fprintf(&sb, "source %d\n%s", oid, r.BySource[oid].String())
+	}
+	return sb.String()
+}
+
+// RenderQuerySweep renders the query sweep.
+func RenderQuerySweep(title string, rows []QuerySweepRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %10s %10s %10s %10s %8s %10s %7s %10s %10s %8s %6s %5s\n",
+		title, "S", "stream", "sidecar", "cold", "warm", "speedup", "qtrace", "lazy%",
+		"interp", "compiled", "speedup", "items", "ident")
+	for _, r := range rows {
+		lazyPct := 0.0
+		if r.AssocBytesTotal > 0 {
+			lazyPct = 100 * float64(r.AssocBytesDecoded) / float64(r.AssocBytesTotal)
+		}
+		fmt.Fprintf(&sb, "%-4s %10d %10d %10s %10s %7.1fx %10s %6.1f%% %10s %10s %7.1fx %6d %5v\n",
+			r.Scenario, r.StreamBytes, r.SidecarBytes, fmtDur(r.Cold), fmtDur(r.Warm),
+			r.Speedup, fmtDur(r.QuestionTrace), lazyPct, fmtDur(r.InterpMatch), fmtDur(r.CompiledMatch),
+			r.MatchSpeedup, r.Items, r.Identical)
+	}
+	return sb.String()
+}

@@ -95,6 +95,15 @@ const (
 	SpanPatternMatch
 	// SpanBacktrace is the backtracing walk of a query (Alg. 1).
 	SpanBacktrace
+	// SpanRunLoad is the deserialisation of a persisted provenance run
+	// (eager or lazy load, recorded by the Observed read variants).
+	SpanRunLoad
+	// SpanIndexBuild is per-operator association index construction (or the
+	// sidecar load that replaces it) inside the tracer.
+	SpanIndexBuild
+	// SpanPatternCompile is the one-time compilation of a tree pattern into
+	// its instruction form.
+	SpanPatternCompile
 
 	// NumSpans is the number of spans (array size, not a span).
 	NumSpans
@@ -102,6 +111,7 @@ const (
 
 var spanNames = [NumSpans]string{
 	"schedule", "collector_finish", "pattern_match", "backtrace",
+	"run_load", "index_build", "pattern_compile",
 }
 
 // String returns the snake_case name of the span.

@@ -47,6 +47,13 @@ func (s *Stats) Render(withTimings bool) string {
 			fmt.Fprintf(&sb, "query time: match %s (%.1f%%) + backtrace %s (%.1f%%)\n",
 				match, 100*float64(match)/float64(q), bt, 100*float64(bt)/float64(q))
 		}
+		// Reload-path phases (lazy run load, index build/sidecar install,
+		// pattern compilation) — the query-side split of the PR 6 fast path.
+		load, idx, comp := s.SpanTotal(SpanRunLoad), s.SpanTotal(SpanIndexBuild), s.SpanTotal(SpanPatternCompile)
+		if load+idx+comp > 0 {
+			fmt.Fprintf(&sb, "query phases: run_load %s + index_build %s + pattern_compile %s\n",
+				load, idx, comp)
+		}
 	}
 	return sb.String()
 }

@@ -45,6 +45,7 @@ const (
 	KindLazyVsEager = "lazy-vs-eager-pattern"
 	KindPatternSub  = "pattern-not-subset-of-full"
 	KindForward     = "forward-backward-inconsistent"
+	KindLoadPath    = "load-path-divergence"
 )
 
 // Config tunes a differential check.
@@ -264,6 +265,15 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 		fullBy[oid] = sortedIDs(st.IDs())
 	}
 
+	// Load-path equivalence (PR 6): reloading the serialized run through the
+	// eager decoder, the lazy decoder, and the lazy decoder with a persisted
+	// index sidecar must answer the full-value backtrace byte-identically to
+	// the in-memory capture. The decode and index strategies may differ;
+	// answers may not.
+	if d := checkLoadPaths(s, a, sinkOID, full, renderResult(tracedFull)); d != nil {
+		return d
+	}
+
 	// Eager vs lineage, in run-space ids (identical across sinks because id
 	// assignment is capture-independent). Equality is only owed when every
 	// aggregate output is addressed by the full-value trees; otherwise
@@ -371,6 +381,78 @@ func crossMode(s *corpus.Spec, pipe *engine.Pipeline, pattern *treepattern.Patte
 		}
 	}
 	return nil
+}
+
+// checkLoadPaths reloads the serialized run through every load path — eager
+// decode, lazy decode, lazy decode plus a freshly written index sidecar —
+// and requires each to render the full-value backtrace exactly as the
+// in-memory capture did (want).
+func checkLoadPaths(s *corpus.Spec, a *artifacts, sinkOID int, q *backtrace.Structure, want string) *Disagreement {
+	fail := func(kind, detail string) *Disagreement {
+		return &Disagreement{Kind: kind, Detail: detail, Seed: s.Seed}
+	}
+	sidecarRun, err := provenance.ReadRunLazy(a.provBytes)
+	if err != nil {
+		return fail(KindRun, "lazy reload: "+err.Error())
+	}
+	var sidecar bytes.Buffer
+	if _, err := backtrace.NewTracer(sidecarRun).WriteIndexes(&sidecar); err != nil {
+		return fail(KindRun, "write sidecar: "+err.Error())
+	}
+	paths := []struct {
+		name string
+		load func() (*backtrace.Tracer, error)
+	}{
+		{"eager", func() (*backtrace.Tracer, error) {
+			r, err := provenance.ReadRun(bytes.NewReader(a.provBytes))
+			if err != nil {
+				return nil, err
+			}
+			return backtrace.NewTracer(r), nil
+		}},
+		{"lazy", func() (*backtrace.Tracer, error) {
+			r, err := provenance.ReadRunLazy(a.provBytes)
+			if err != nil {
+				return nil, err
+			}
+			return backtrace.NewTracer(r), nil
+		}},
+		{"lazy+sidecar", func() (*backtrace.Tracer, error) {
+			r, err := provenance.ReadRunLazy(a.provBytes)
+			if err != nil {
+				return nil, err
+			}
+			tr := backtrace.NewTracer(r)
+			if err := tr.LoadIndexes(sidecar.Bytes()); err != nil {
+				return nil, err
+			}
+			return tr, nil
+		}},
+	}
+	for _, p := range paths {
+		tr, err := p.load()
+		if err != nil {
+			return fail(KindRun, p.name+" reload: "+err.Error())
+		}
+		traced, err := tr.Trace(sinkOID, q.Clone())
+		if err != nil {
+			return fail(KindRun, p.name+" reload trace: "+err.Error())
+		}
+		if got := renderResult(traced); got != want {
+			return fail(KindLoadPath, fmt.Sprintf("%s load path answered differently:\n got %q\nwant %q", p.name, got, want))
+		}
+	}
+	return nil
+}
+
+// renderResult renders a backtrace result deterministically for byte-level
+// comparison across load paths.
+func renderResult(r *backtrace.Result) string {
+	var sb strings.Builder
+	for _, oid := range sortedOIDs(r.BySource) {
+		fmt.Fprintf(&sb, "source %d\n%s", oid, r.BySource[oid].String())
+	}
+	return sb.String()
 }
 
 // lazyOrigSets flattens a lazy result to sorted raw-input id lists per

@@ -101,6 +101,7 @@ func (r *Run) encodeV1(w io.Writer, rec *obs.Recorder) error {
 	e.u32(uint32(len(r.order)))
 	for _, oid := range r.order {
 		op := r.ops[oid]
+		op.materialize() // re-encoding a lazily loaded run reads every bag
 		opStart := e.off
 		e.u32(uint32(op.OID))
 		e.str(string(op.Type))

@@ -119,6 +119,7 @@ func (r *Run) v2Dict() ([]string, map[string]uint64) {
 }
 
 func appendOpV2(buf []byte, op *Operator, refs map[string]uint64) []byte {
+	op.materialize() // re-encoding a lazily loaded run reads every bag
 	buf = binary.AppendUvarint(buf, uint64(op.OID))
 	buf = binary.AppendUvarint(buf, refs[string(op.Type)])
 	buf = appendBool(buf, op.ManipUndefined)

@@ -1,0 +1,546 @@
+package provenance
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"pebble/internal/engine"
+	"pebble/internal/obs"
+	"pebble/internal/path"
+)
+
+// Lazy decoding: ReadRunLazy returns a Run whose association columns stay
+// encoded until an operator's bag is first touched. A backtrace visits only
+// the operators on its walk — typically a handful out of a large run — so
+// the load phase should not pay for materialising every column.
+//
+// The v2 wire format is unchanged (it has no optional trailer; every strict
+// prefix of a stream is invalid, and the codec tests pin that). Instead of a
+// serialized directory, ReadRunLazy derives a per-operator offset directory
+// with a validating skip-scan: the static parts (dictionary, operator
+// headers, paths, mappings) decode eagerly exactly like ReadRun, and each
+// association block is structurally validated — count caps, varint
+// boundaries, aggregate length sums — and recorded as a byte region of the
+// backing slice. Because the scan proves every region well-formed up front,
+// materialisation is infallible and corrupt streams fail at load time, just
+// like the eager path.
+
+// AssocKind enumerates the association bag layouts of Tab. 6; the values
+// coincide with the codec's wire tags.
+type AssocKind uint8
+
+const (
+	// AssocNone marks an operator that captured no association bag.
+	AssocNone AssocKind = iota
+	// AssocSource is the ⟨id, orig_id⟩ layout of source operators.
+	AssocSource
+	// AssocUnary is the ⟨id_i, id_o⟩ layout of map, select, and filter.
+	AssocUnary
+	// AssocBinary is the ⟨id_i1, id_i2, id_o⟩ layout of join and union.
+	AssocBinary
+	// AssocFlatten is the ⟨id_i, pos, id_o⟩ layout of flatten.
+	AssocFlatten
+	// AssocAgg is the ⟨ids_i, id_o⟩ layout of grouping/aggregation.
+	AssocAgg
+)
+
+// lazyStream is the shared backing state of one lazily loaded run: the raw
+// encoded bytes plus the materialisation accounting the query sweep reports.
+type lazyStream struct {
+	data    []byte
+	total   int64        // bytes of all association regions
+	decoded atomic.Int64 // bytes of regions materialised so far
+}
+
+// lazyAssoc defers one operator's association columns: a validated byte
+// region of the stream plus the counts the scan already proved consistent.
+type lazyAssoc struct {
+	src      *lazyStream
+	once     sync.Once
+	tag      AssocKind
+	n        int // association rows
+	totalIns int // AssocAgg only: total Ins elements across all groups
+	off, end int // region [off, end): count varint + columns
+}
+
+// materialize decodes the operator's association columns on first touch.
+func (o *Operator) materialize() {
+	if o.lazy == nil {
+		return
+	}
+	o.lazy.once.Do(func() { o.lazy.decode(o) })
+}
+
+// AssocKind returns the layout of the operator's association bag without
+// materialising it.
+func (o *Operator) AssocKind() AssocKind {
+	if o.lazy != nil {
+		return o.lazy.tag
+	}
+	switch {
+	case o.SourceIDs != nil:
+		return AssocSource
+	case o.Unary != nil:
+		return AssocUnary
+	case o.Binary != nil:
+		return AssocBinary
+	case o.Flatten != nil:
+		return AssocFlatten
+	case o.Agg != nil:
+		return AssocAgg
+	}
+	return AssocNone
+}
+
+// UnaryAssocs returns the ⟨id_i, id_o⟩ bag, decoding it on first touch for
+// lazily loaded runs. All query-side consumers go through these accessors;
+// the exported fields stay valid for eagerly built or decoded runs.
+func (o *Operator) UnaryAssocs() []UnaryAssoc {
+	o.materialize()
+	return o.Unary
+}
+
+// BinaryAssocs returns the ⟨id_i1, id_i2, id_o⟩ bag, decoding on first touch.
+func (o *Operator) BinaryAssocs() []BinaryAssoc {
+	o.materialize()
+	return o.Binary
+}
+
+// FlattenAssocs returns the ⟨id_i, pos, id_o⟩ bag, decoding on first touch.
+func (o *Operator) FlattenAssocs() []FlattenAssoc {
+	o.materialize()
+	return o.Flatten
+}
+
+// AggAssocs returns the ⟨ids_i, id_o⟩ bag, decoding on first touch.
+func (o *Operator) AggAssocs() []AggAssoc {
+	o.materialize()
+	return o.Agg
+}
+
+// SourceAssocs returns the ⟨id, orig_id⟩ bag, decoding on first touch.
+func (o *Operator) SourceAssocs() []SourceAssoc {
+	o.materialize()
+	return o.SourceIDs
+}
+
+// ContentHash returns the FNV-1a hash of the encoded stream the run was
+// loaded from, used to pair a run with its persisted index sidecar. Only
+// byte-loaded runs (ReadRunLazy) carry a hash; ok is false otherwise.
+func (r *Run) ContentHash() (uint64, bool) { return r.hash, r.hasHash }
+
+// AssocBytesTotal returns the encoded size of all association regions of a
+// lazily loaded v2 run (0 for eager or in-memory runs) — the bytes an eager
+// decode materialises unconditionally.
+func (r *Run) AssocBytesTotal() int64 {
+	if r.lazy == nil {
+		return 0
+	}
+	return r.lazy.total
+}
+
+// AssocBytesDecoded returns how many association-region bytes have been
+// materialised so far; a trace that visits few operators keeps this far
+// below AssocBytesTotal.
+func (r *Run) AssocBytesDecoded() int64 {
+	if r.lazy == nil {
+		return 0
+	}
+	return r.lazy.decoded.Load()
+}
+
+// HashStream fingerprints an encoded stream — the content hash sidecars are
+// validated against. It is the FNV-1a mixing step folded over the length and
+// 8-byte little-endian words (tail bytes fold individually), so hashing runs
+// at word speed: reload paths hash every stream and sidecar they open, and a
+// byte-at-a-time hash would rival the decode it guards.
+func HashStream(data []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := (uint64(offset64) ^ uint64(len(data))) * prime64
+	for len(data) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(data)) * prime64
+		data = data[8:]
+	}
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
+
+// ReadRunLazy loads a run from its encoded bytes, deferring association
+// column decode until an operator's bag is first touched. The stream is
+// fully validated up front (a corrupt or truncated stream errors here, never
+// later), so the accessors are infallible. v1 streams have no columnar
+// layout and decode fully; they still carry the content hash.
+func ReadRunLazy(data []byte) (*Run, error) {
+	prefix := len(codecMagic) + 2
+	if len(data) < prefix {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("provenance: bad magic %q", data[:len(codecMagic)])
+	}
+	switch v := binary.LittleEndian.Uint16(data[len(codecMagic):prefix]); v {
+	case codecVersionV1:
+		run, err := ReadRun(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		run.hash, run.hasHash = HashStream(data), true
+		return run, nil
+	case codecVersionV2:
+		return scanRunV2(data, prefix)
+	default:
+		return nil, fmt.Errorf("provenance: unsupported version %d", v)
+	}
+}
+
+// ReadRunLazyObserved loads like ReadRunLazy and reports the load duration
+// as obs.SpanRunLoad (a nil recorder is fine).
+func ReadRunLazyObserved(data []byte, rec *obs.Recorder) (*Run, error) {
+	defer rec.StartSpan(obs.SpanRunLoad)()
+	return ReadRunLazy(data)
+}
+
+// ReadRunObserved loads eagerly like ReadRun and reports the load duration
+// as obs.SpanRunLoad.
+func ReadRunObserved(r io.Reader, rec *obs.Recorder) (*Run, error) {
+	defer rec.StartSpan(obs.SpanRunLoad)()
+	return ReadRun(r)
+}
+
+// scanRunV2 performs the validating skip-scan over a v2 stream: static parts
+// decode eagerly, association blocks are verified and recorded as lazy
+// regions.
+func scanRunV2(data []byte, pos int) (*Run, error) {
+	d := &sdecoder{data: data, pos: pos}
+	nDict := d.scount("dictionary")
+	d.dict = make([]string, 0, capHint(nDict))
+	for i := 0; i < nDict && d.err == nil; i++ {
+		d.dict = append(d.dict, d.rawString())
+	}
+	nOps := d.scount("operator")
+	if d.err != nil {
+		return nil, d.err
+	}
+	ls := &lazyStream{data: data}
+	run := &Run{ops: make(map[int]*Operator, capHint(nOps))}
+	for i := 0; i < nOps; i++ {
+		op := d.scanOp(ls)
+		if d.err != nil {
+			return nil, d.err
+		}
+		run.ops[op.OID] = op
+		run.order = append(run.order, op.OID)
+	}
+	run.lazy = ls
+	run.hash, run.hasHash = HashStream(data), true
+	return run, nil
+}
+
+var errVarintOverflow = errors.New("provenance: varint overflows a 64-bit integer")
+
+// sdecoder reads varint primitives from a byte slice, remembering the first
+// error — the slice-backed sibling of v2decoder.
+type sdecoder struct {
+	data []byte
+	pos  int
+	dict []string
+	err  error
+}
+
+func (d *sdecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	// Single-byte fast path: identifier deltas are tiny, so the vast majority
+	// of varints in a stream are one byte.
+	if d.pos < len(d.data) {
+		if b := d.data[d.pos]; b < 0x80 {
+			d.pos++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		if n == 0 {
+			d.err = io.ErrUnexpectedEOF
+		} else {
+			d.err = errVarintOverflow
+		}
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *sdecoder) scount(what string) int {
+	v := d.uvarint()
+	if d.err == nil && v > maxV2Count {
+		d.err = fmt.Errorf("provenance: %s count %d exceeds limit", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *sdecoder) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *sdecoder) bool() bool { return d.byte() != 0 }
+
+func (d *sdecoder) rawString() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	const maxStr = 1 << 20
+	if n > maxStr {
+		d.err = fmt.Errorf("provenance: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.pos+int(n) > len(d.data) {
+		d.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *sdecoder) ref(what string) string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(d.dict)) {
+		d.err = fmt.Errorf("provenance: %s dictionary reference %d out of range (dictionary has %d entries)", what, i, len(d.dict))
+		return ""
+	}
+	return d.dict[i]
+}
+
+func (d *sdecoder) path(what string) path.Path {
+	s := d.ref(what)
+	if d.err != nil {
+		return nil
+	}
+	return d.parse(s)
+}
+
+func (d *sdecoder) parse(s string) path.Path {
+	p, err := path.Parse(s)
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	return p
+}
+
+// skipVarints advances past n varints without decoding their values,
+// rejecting truncation and overlong encodings exactly like binary.ReadUvarint
+// would.
+func (d *sdecoder) skipVarints(n int) {
+	if d.err != nil {
+		return
+	}
+	data, p := d.data, d.pos
+	for i := 0; i < n; i++ {
+		for j := 0; ; j++ {
+			if p >= len(data) {
+				d.err = io.ErrUnexpectedEOF
+				d.pos = p
+				return
+			}
+			b := data[p]
+			p++
+			if b < 0x80 {
+				if j == binary.MaxVarintLen64-1 && b > 1 {
+					d.err = errVarintOverflow
+					d.pos = p
+					return
+				}
+				break
+			}
+			if j == binary.MaxVarintLen64-1 {
+				d.err = errVarintOverflow
+				d.pos = p
+				return
+			}
+		}
+	}
+	d.pos = p
+}
+
+// scanOp decodes one operator's static part and validates its association
+// block into a lazy region.
+func (d *sdecoder) scanOp(ls *lazyStream) *Operator {
+	op := &Operator{}
+	op.OID = int(d.uvarint())
+	op.Type = engine.OpType(d.ref("operator type"))
+	op.ManipUndefined = d.bool()
+	nIn := d.scount("input")
+	for j := 0; j < nIn && d.err == nil; j++ {
+		var in engine.InputInfo
+		in.Pred = int(d.uvarint())
+		in.SourceName = d.ref("source name")
+		in.AccessUndefined = d.bool()
+		nAcc := d.scount("accessed path")
+		for k := 0; k < nAcc && d.err == nil; k++ {
+			in.Accessed = append(in.Accessed, d.path("accessed path"))
+		}
+		nSchema := d.scount("schema string")
+		for k := 0; k < nSchema && d.err == nil; k++ {
+			in.Schema = append(in.Schema, d.ref("schema string"))
+		}
+		op.Inputs = append(op.Inputs, in)
+	}
+	nManip := d.scount("mapping")
+	for j := 0; j < nManip && d.err == nil; j++ {
+		var m engine.Mapping
+		if in := d.ref("mapping input path"); in != "" && d.err == nil {
+			m.In = d.parse(in)
+		}
+		m.Out = d.path("mapping output path")
+		m.GroupKey = d.bool()
+		op.Manipulated = append(op.Manipulated, m)
+	}
+	d.scanAssocs(op, ls)
+	return op
+}
+
+// scanAssocs validates one association block and records it as a lazy
+// region instead of materialising the columns.
+func (d *sdecoder) scanAssocs(op *Operator, ls *lazyStream) {
+	tag := d.byte()
+	if d.err != nil {
+		return
+	}
+	start := d.pos
+	var n, totalIns int
+	switch AssocKind(tag) {
+	case AssocNone:
+		return
+	case AssocSource:
+		n = d.scount("source association")
+		d.skipVarints(2 * n)
+	case AssocUnary:
+		n = d.scount("unary association")
+		d.skipVarints(2 * n)
+	case AssocBinary:
+		n = d.scount("binary association")
+		d.skipVarints(3 * n)
+	case AssocFlatten:
+		n = d.scount("flatten association")
+		d.skipVarints(3 * n)
+	case AssocAgg:
+		n = d.scount("aggregate association")
+		d.skipVarints(n) // Δ(Out) column
+		for i := 0; i < n && d.err == nil; i++ {
+			l := d.uvarint()
+			if d.err == nil && (l > maxV2Count || totalIns+int(l) < totalIns) {
+				d.err = fmt.Errorf("provenance: aggregate input count %d exceeds limit", l)
+			}
+			totalIns += int(l)
+		}
+		d.skipVarints(totalIns)
+	default:
+		d.err = fmt.Errorf("provenance: unknown association tag %d", tag)
+		return
+	}
+	if d.err != nil {
+		return
+	}
+	op.lazy = &lazyAssoc{src: ls, tag: AssocKind(tag), n: n, totalIns: totalIns, off: start, end: d.pos}
+	ls.total += int64(d.pos - start)
+}
+
+// decode materialises the deferred columns. The load-time scan proved the
+// region well-formed, so a decode failure here is a bug, not an input error
+// — it panics rather than silently returning partial provenance.
+func (l *lazyAssoc) decode(op *Operator) {
+	d := &sdecoder{data: l.src.data[:l.end], pos: l.off}
+	switch l.tag {
+	case AssocSource:
+		n := d.scount("source association")
+		ids := d.lazyDeltaColumn(n)
+		origs := d.lazyDeltaColumn(n)
+		op.SourceIDs = make([]SourceAssoc, n)
+		for j := range op.SourceIDs {
+			op.SourceIDs[j] = SourceAssoc{ID: ids[j], OrigID: origs[j]}
+		}
+	case AssocUnary:
+		n := d.scount("unary association")
+		ins := d.lazyDeltaColumn(n)
+		outs := d.lazyDeltaColumn(n)
+		op.Unary = make([]UnaryAssoc, n)
+		for j := range op.Unary {
+			op.Unary[j] = UnaryAssoc{In: ins[j], Out: outs[j]}
+		}
+	case AssocBinary:
+		n := d.scount("binary association")
+		lefts := d.lazyDeltaColumn(n)
+		rights := d.lazyDeltaColumn(n)
+		outs := d.lazyDeltaColumn(n)
+		op.Binary = make([]BinaryAssoc, n)
+		for j := range op.Binary {
+			op.Binary[j] = BinaryAssoc{Left: lefts[j], Right: rights[j], Out: outs[j]}
+		}
+	case AssocFlatten:
+		n := d.scount("flatten association")
+		ins := d.lazyDeltaColumn(n)
+		poss := make([]uint64, n)
+		for j := 0; j < n && d.err == nil; j++ {
+			poss[j] = d.uvarint()
+		}
+		outs := d.lazyDeltaColumn(n)
+		op.Flatten = make([]FlattenAssoc, n)
+		for j := range op.Flatten {
+			op.Flatten[j] = FlattenAssoc{In: ins[j], Pos: int(poss[j]), Out: outs[j]}
+		}
+	case AssocAgg:
+		n := d.scount("aggregate association")
+		outs := d.lazyDeltaColumn(n)
+		lens := make([]int, n)
+		for j := 0; j < n && d.err == nil; j++ {
+			lens[j] = int(d.uvarint())
+		}
+		flat := d.lazyDeltaColumn(l.totalIns)
+		op.Agg = make([]AggAssoc, n)
+		off := 0
+		for j := range op.Agg {
+			op.Agg[j] = AggAssoc{Out: outs[j], Ins: flat[off : off+lens[j] : off+lens[j]]}
+			off += lens[j]
+		}
+	}
+	if d.err != nil || d.pos != l.end {
+		panic(fmt.Sprintf("provenance: lazy association decode diverged from validated scan (err=%v pos=%d end=%d)", d.err, d.pos, l.end))
+	}
+	l.src.decoded.Add(int64(l.end - l.off))
+}
+
+// lazyDeltaColumn decodes n zigzag-delta varints from a validated region;
+// n is trusted because the scan bounded it by actual region bytes.
+func (d *sdecoder) lazyDeltaColumn(n int) []int64 {
+	out := make([]int64, n)
+	var prev int64
+	for i := 0; i < n && d.err == nil; i++ {
+		u := d.uvarint()
+		prev += int64(u>>1) ^ -int64(u&1)
+		out[i] = prev
+	}
+	return out
+}

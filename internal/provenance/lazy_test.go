@@ -1,0 +1,188 @@
+package provenance_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pebble/internal/provenance"
+)
+
+// goldenStreams loads every committed golden stream (v1 and v2) keyed by
+// file name.
+func goldenStreams(t *testing.T) map[string][]byte {
+	t.Helper()
+	streams := map[string][]byte{}
+	for _, name := range []string{"example", "map-join", "ordering"} {
+		for _, suffix := range []string{".golden", ".v2.golden"} {
+			p := filepath.Join("testdata", name+suffix)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatalf("missing golden stream: %v", err)
+			}
+			streams[name+suffix] = data
+		}
+	}
+	return streams
+}
+
+// TestLazyEqualsEagerOnGoldens: a lazily loaded run must be indistinguishable
+// from an eagerly decoded one — same operators, byte-equal association bags
+// once materialised, and an identical re-encoding.
+func TestLazyEqualsEagerOnGoldens(t *testing.T) {
+	for name, data := range goldenStreams(t) {
+		t.Run(name, func(t *testing.T) {
+			eager, err := provenance.ReadRun(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("ReadRun: %v", err)
+			}
+			lazyr, err := provenance.ReadRunLazy(data)
+			if err != nil {
+				t.Fatalf("ReadRunLazy: %v", err)
+			}
+			eops, lops := eager.Operators(), lazyr.Operators()
+			if len(eops) != len(lops) {
+				t.Fatalf("operator count %d vs %d", len(lops), len(eops))
+			}
+			for i, eo := range eops {
+				lo := lops[i]
+				if eo.OID != lo.OID || eo.Type != lo.Type || eo.AssocKind() != lo.AssocKind() {
+					t.Fatalf("operator %d differs: %v/%v vs %v/%v", i, lo.OID, lo.Type, eo.OID, eo.Type)
+				}
+				if !reflect.DeepEqual(eo.UnaryAssocs(), lo.UnaryAssocs()) ||
+					!reflect.DeepEqual(eo.BinaryAssocs(), lo.BinaryAssocs()) ||
+					!reflect.DeepEqual(eo.FlattenAssocs(), lo.FlattenAssocs()) ||
+					!reflect.DeepEqual(eo.AggAssocs(), lo.AggAssocs()) ||
+					!reflect.DeepEqual(eo.SourceAssocs(), lo.SourceAssocs()) {
+					t.Fatalf("operator %d association bags differ between lazy and eager", eo.OID)
+				}
+			}
+			var fromEager, fromLazy bytes.Buffer
+			if _, err := eager.WriteTo(&fromEager); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := lazyr.WriteTo(&fromLazy); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fromEager.Bytes(), fromLazy.Bytes()) {
+				t.Errorf("re-encodings differ: %d vs %d bytes", fromLazy.Len(), fromEager.Len())
+			}
+		})
+	}
+}
+
+// TestLazyRejectsStrictPrefixes: the validating skip-scan must reject every
+// truncation up front — the accessors are infallible, so nothing may load
+// that could fail later.
+func TestLazyRejectsStrictPrefixes(t *testing.T) {
+	for name, data := range goldenStreams(t) {
+		t.Run(name, func(t *testing.T) {
+			for n := 0; n < len(data); n++ {
+				if _, err := provenance.ReadRunLazy(data[:n]); err == nil {
+					t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+				}
+			}
+		})
+	}
+}
+
+// TestLazyRejectsCorruptHeaders: wrong magic and unknown versions error.
+func TestLazyRejectsCorruptHeaders(t *testing.T) {
+	data := goldenStreams(t)["example.v2.golden"]
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] ^= 0xFF
+	if _, err := provenance.ReadRunLazy(badMagic); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	badVer := append([]byte(nil), data...)
+	badVer[len(badVer)-1] = 0 // harmless; version bytes follow the magic
+	badVer[4], badVer[5] = 0xFF, 0xFF
+	if _, err := provenance.ReadRunLazy(badVer); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestLazyDecodedBytesAccounting: nothing decodes at load, touched bags are
+// charged once, and materialising everything accounts for every region.
+func TestLazyDecodedBytesAccounting(t *testing.T) {
+	data := goldenStreams(t)["example.v2.golden"]
+	run, err := provenance.ReadRunLazy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := run.AssocBytesTotal()
+	if total <= 0 {
+		t.Fatalf("AssocBytesTotal = %d, want > 0", total)
+	}
+	if got := run.AssocBytesDecoded(); got != 0 {
+		t.Fatalf("decoded %d bytes before any access, want 0", got)
+	}
+	ops := run.Operators()
+	first := ops[len(ops)-1]
+	first.UnaryAssocs() // touch one operator (kind-independent: every accessor materialises)
+	after := run.AssocBytesDecoded()
+	if after <= 0 || after >= total {
+		t.Fatalf("single-operator touch decoded %d of %d bytes, want strictly between", after, total)
+	}
+	if again := func() int64 { first.UnaryAssocs(); return run.AssocBytesDecoded() }(); again != after {
+		t.Fatalf("second touch re-charged decode: %d then %d", after, again)
+	}
+	for _, op := range ops {
+		op.UnaryAssocs()
+	}
+	if got := run.AssocBytesDecoded(); got != total {
+		t.Fatalf("full materialisation decoded %d bytes, want total %d", got, total)
+	}
+}
+
+// TestHashStream pins the stream fingerprint to its spec: FNV-1a folded over
+// the length and 8-byte little-endian words, tail bytes individually.
+func TestHashStream(t *testing.T) {
+	spec := func(data []byte) uint64 {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := (uint64(offset64) ^ uint64(len(data))) * prime64
+		for len(data) >= 8 {
+			h = (h ^ binary.LittleEndian.Uint64(data[:8])) * prime64
+			data = data[8:]
+		}
+		for _, b := range data {
+			h = (h ^ uint64(b)) * prime64
+		}
+		return h
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("p"),
+		[]byte("pebble!"),
+		[]byte("pebble!!"), // exactly one word
+		[]byte("pebble sidecar hash vector"),
+		bytes.Repeat([]byte{0}, 31),
+		bytes.Repeat([]byte{0}, 32),
+	}
+	for _, c := range cases {
+		if got, want := provenance.HashStream(c), spec(c); got != want {
+			t.Errorf("HashStream(%q) = %#x, want %#x", c, got, want)
+		}
+	}
+	// Length is part of the fingerprint: zero-extended streams differ.
+	if provenance.HashStream(cases[6]) == provenance.HashStream(cases[7]) {
+		t.Error("hash ignores length: 31 and 32 zero bytes collide")
+	}
+	// And a golden stream hashes consistently with its lazy load.
+	data := goldenStreams(t)["example.v2.golden"]
+	run, err := provenance.ReadRunLazy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := run.ContentHash()
+	if !ok {
+		t.Fatal("byte-loaded run has no content hash")
+	}
+	if h != provenance.HashStream(data) {
+		t.Errorf("ContentHash %#x != HashStream %#x", h, provenance.HashStream(data))
+	}
+}

@@ -58,12 +58,19 @@ type Operator struct {
 	ManipUndefined bool
 
 	// The association bag P, in the operator-dependent layout of Tab. 6.
-	// Exactly one of the following is populated (by operator type).
+	// Exactly one of the following is populated (by operator type). For
+	// lazily loaded runs (ReadRunLazy) the populated field stays nil until
+	// first touch — read the bag through the *Assocs accessors in lazy.go,
+	// which materialise on demand.
 	Unary     []UnaryAssoc
 	Binary    []BinaryAssoc
 	Flatten   []FlattenAssoc
 	Agg       []AggAssoc
 	SourceIDs []SourceAssoc
+
+	// lazy, when non-nil, defers the association columns of a lazily loaded
+	// run to first touch (see lazy.go).
+	lazy *lazyAssoc
 }
 
 // OpID identifies an operator within a pipeline and its captured
@@ -76,6 +83,13 @@ type OpID int
 type Run struct {
 	ops   map[int]*Operator
 	order []int
+
+	// lazy is the shared backing stream of a lazily loaded run (nil for
+	// eagerly built or decoded runs); hash is the FNV-1a content hash of the
+	// encoded stream when the run was loaded from bytes (see ContentHash).
+	lazy    *lazyStream
+	hash    uint64
+	hasHash bool
 }
 
 // Op returns the operator provenance for the given operator identifier.
@@ -112,8 +126,13 @@ func (r *Run) String() string {
 	return sb.String()
 }
 
-// AssocCount returns the number of association rows of the operator.
+// AssocCount returns the number of association rows of the operator. For a
+// lazily loaded operator the count comes from the load-time scan, without
+// materialising the columns.
 func (o *Operator) AssocCount() int {
+	if o.lazy != nil {
+		return o.lazy.n
+	}
 	switch {
 	case o.Unary != nil:
 		return len(o.Unary)
@@ -146,6 +165,25 @@ const idBytes = 8
 // Sizes computes the storage footprint of one operator's provenance.
 func (o *Operator) Sizes() Sizes {
 	var s Sizes
+	if o.lazy != nil {
+		// Lazily loaded: the footprint model is a pure function of the row
+		// and element counts the load-time scan recorded, so Sizes never
+		// forces materialisation.
+		switch o.lazy.tag {
+		case AssocUnary:
+			s.LineageBytes = int64(o.lazy.n) * 2 * idBytes
+		case AssocBinary:
+			s.LineageBytes = int64(o.lazy.n) * 3 * idBytes
+		case AssocFlatten:
+			s.LineageBytes = int64(o.lazy.n) * 2 * idBytes
+			s.StructuralExtra = int64(o.lazy.n) * idBytes
+		case AssocAgg:
+			s.LineageBytes = int64(o.lazy.totalIns+o.lazy.n) * idBytes
+		case AssocSource:
+			s.LineageBytes = int64(o.lazy.n) * idBytes
+		}
+		return o.addStaticSizes(s)
+	}
 	switch {
 	case o.Unary != nil:
 		s.LineageBytes = int64(len(o.Unary)) * 2 * idBytes
@@ -162,7 +200,12 @@ func (o *Operator) Sizes() Sizes {
 	case o.SourceIDs != nil:
 		s.LineageBytes = int64(len(o.SourceIDs)) * idBytes
 	}
-	// Schema-level paths and mappings: recorded once per operator.
+	return o.addStaticSizes(s)
+}
+
+// addStaticSizes adds the schema-level paths and mappings, recorded once per
+// operator.
+func (o *Operator) addStaticSizes(s Sizes) Sizes {
 	for _, in := range o.Inputs {
 		for _, p := range in.Accessed {
 			s.StructuralExtra += int64(len(p.String()))

@@ -7,8 +7,10 @@ package shell
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +19,7 @@ import (
 	"pebble/internal/core"
 	"pebble/internal/engine"
 	"pebble/internal/nested"
+	"pebble/internal/provenance"
 	"pebble/internal/treepattern"
 )
 
@@ -35,7 +38,7 @@ func New(cap *core.Captured, out io.Writer) *Shell {
 // parsed as a tree-pattern question and answered with a provenance report.
 func (s *Shell) Run(in io.Reader) error {
 	fmt.Fprintln(s.out, `pebble provenance shell — enter a tree-pattern (e.g. //id_str == "lp"),`)
-	fmt.Fprintln(s.out, `or a command: help, plan, schema, result [n], provenance, stats, impact <source-oid> <id>, quit`)
+	fmt.Fprintln(s.out, `or a command: help, plan, schema, result [n], provenance, stats, save <path>, load <path>, impact <source-oid> <id>, quit`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -111,6 +114,16 @@ func (s *Shell) dispatch(line string) error {
 		}
 		fmt.Fprintln(s.out, string(data))
 		return nil
+	case "save":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: save <path>")
+		}
+		return s.save(fields[1])
+	case "load":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: load <path>")
+		}
+		return s.load(fields[1])
 	case "impact":
 		if len(fields) != 3 {
 			return fmt.Errorf("usage: impact <source-oid> <input-id>")
@@ -135,6 +148,10 @@ func (s *Shell) help() {
   result [n]               print the first n result rows (default 10)
   provenance               per-operator association counts and sizes
   stats                    per-operator execution metrics and query timings
+                           (incl. run_load / index_build / pattern_compile phases)
+  save <path>              persist the captured provenance + index sidecar
+  load <path>              reload provenance via the fast path (lazy decode +
+                           sidecar indexes; rebuilds on a stale/corrupt sidecar)
   impact <src-oid> <id>    forward-trace one input item to the results
   quit                     leave the shell
 anything else is parsed as a tree-pattern provenance question, e.g.
@@ -159,6 +176,62 @@ func (s *Shell) printProvenance() {
 	for _, op := range s.cap.Provenance.Operators() {
 		fmt.Fprintf(s.out, "  P%-3d %-10s assocs=%d\n", op.OID, op.Type, op.AssocCount())
 	}
+}
+
+// save persists the captured provenance to path and writes the matching
+// index sidecar to path+".idx", so a later `load` (or any reader) gets the
+// fast path: lazy decode plus prebuilt trace indexes.
+func (s *Shell) save(path string) error {
+	var buf bytes.Buffer
+	if _, err := s.cap.Provenance.WriteTo(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	// The sidecar is keyed by the stream's content hash, so build it from a
+	// lazy reload of the exact bytes just written.
+	run, err := provenance.ReadRunLazy(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	var idx bytes.Buffer
+	if _, err := backtrace.NewTracer(run).WriteIndexes(&idx); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path+".idx", idx.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved provenance (%d B) to %s and index sidecar (%d B) to %s.idx\n",
+		buf.Len(), path, idx.Len(), path)
+	return nil
+}
+
+// load reloads persisted provenance through the fast path — lazy column
+// decode plus sidecar indexes when a valid path+".idx" is present — and
+// attaches it to the session, so later queries run against the reloaded run.
+func (s *Shell) load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rec := s.cap.Recorder()
+	run, err := provenance.ReadRunLazyObserved(data, rec)
+	if err != nil {
+		return err
+	}
+	tr := backtrace.NewTracer(run).Observe(rec)
+	if sidecar, err := os.ReadFile(path + ".idx"); err == nil {
+		if lerr := tr.LoadIndexes(sidecar); lerr != nil {
+			fmt.Fprintf(s.out, "index sidecar rejected (%v); indexes will rebuild lazily\n", lerr)
+		} else {
+			fmt.Fprintf(s.out, "index sidecar installed (%d B)\n", len(sidecar))
+		}
+	}
+	s.cap.AttachProvenance(run, tr)
+	fmt.Fprintf(s.out, "loaded provenance from %s: %d operator(s), %d association bytes deferred\n",
+		path, len(run.Operators()), run.AssocBytesTotal())
+	return nil
 }
 
 func (s *Shell) impact(oid int, id int64) error {

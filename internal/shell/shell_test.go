@@ -2,6 +2,8 @@ package shell_test
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -101,6 +103,89 @@ func TestShellRunLoop(t *testing.T) {
 	// The line after quit must not execute.
 	if strings.Count(got, "more rows") != 1 {
 		t.Errorf("commands after quit executed:\n%s", got)
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	sh, out, _ := newShell(t)
+	path := filepath.Join(t.TempDir(), "run.pbl")
+
+	if err := sh.Exec("save " + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved provenance") {
+		t.Errorf("save output wrong:\n%s", out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("run stream not written: %v", err)
+	}
+	if _, err := os.Stat(path + ".idx"); err != nil {
+		t.Fatalf("index sidecar not written: %v", err)
+	}
+
+	// A fresh shell answers the pattern query from the persisted run+sidecar
+	// exactly like the capturing shell did.
+	want := func(s *shell.Shell, buf *bytes.Buffer) string {
+		buf.Reset()
+		if err := s.Exec(`//id_str == "lp", tweets(text == "Hello World" #[2,2])`); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}(sh, out)
+
+	sh2, out2, _ := newShell(t)
+	if err := sh2.Exec("load " + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "index sidecar installed") {
+		t.Errorf("load did not install the sidecar:\n%s", out2)
+	}
+	got := func(s *shell.Shell, buf *bytes.Buffer) string {
+		buf.Reset()
+		if err := s.Exec(`//id_str == "lp", tweets(text == "Hello World" #[2,2])`); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}(sh2, out2)
+	if got != want {
+		t.Errorf("loaded shell answers differ:\n%s\nwant\n%s", got, want)
+	}
+
+	// A corrupt sidecar is rejected with a warning, and the query still works.
+	idx, err := os.ReadFile(path + ".idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx[len(idx)-1] ^= 0x40
+	if err := os.WriteFile(path+".idx", idx, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sh3, out3, _ := newShell(t)
+	if err := sh3.Exec("load " + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3.String(), "index sidecar rejected") {
+		t.Errorf("corrupt sidecar not reported:\n%s", out3)
+	}
+	if got := func(s *shell.Shell, buf *bytes.Buffer) string {
+		buf.Reset()
+		if err := s.Exec(`//id_str == "lp", tweets(text == "Hello World" #[2,2])`); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}(sh3, out3); got != want {
+		t.Errorf("rebuild-after-rejection answers differ:\n%s\nwant\n%s", got, want)
+	}
+
+	// Error paths: missing args and unreadable files.
+	if err := sh3.Exec("save"); err == nil {
+		t.Error("bare save accepted")
+	}
+	if err := sh3.Exec("load"); err == nil {
+		t.Error("bare load accepted")
+	}
+	if err := sh3.Exec("load " + filepath.Join(t.TempDir(), "missing.pbl")); err == nil {
+		t.Error("load of a missing file accepted")
 	}
 }
 

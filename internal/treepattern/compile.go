@@ -1,0 +1,240 @@
+package treepattern
+
+import (
+	"strings"
+	"sync"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/obs"
+	"pebble/internal/path"
+)
+
+// Compiled patterns: Compile flattens the pattern AST into a preorder
+// instruction array. Each instruction holds the node's attribute, edge kind,
+// a single pre-resolved constraint thunk (the Eq/Contains/Lt/Gt checks fused
+// into one closure at compile time instead of re-dispatched per candidate),
+// the count bounds, and the indexes of its child instructions. Matching
+// executes instructions against each candidate with a fused locate+bind walk
+// — the interpreter's intermediate per-node location slice is gone — while
+// preserving the interpreter's traversal order and semantics exactly (the
+// oracle tests pin this).
+//
+// A Compiled is immutable after construction: matching keeps all per-row
+// state on the stack, so one compiled pattern is safely shared by the
+// parallel per-partition Match goroutines and by concurrent queries.
+
+// cnode is one compiled pattern instruction.
+type cnode struct {
+	attr     string
+	desc     bool // ancestor-descendant edge
+	check    func(nested.Value) bool
+	minCount int
+	maxCount int
+	children []int32
+}
+
+// Compiled is the executable form of a Pattern; build it with
+// Pattern.Compile. It matches exactly like the pattern it was compiled from.
+type Compiled struct {
+	prog  []cnode
+	roots []int32
+}
+
+// Compile returns the pattern's compiled form, building it on first use and
+// caching it on the pattern — repeated Match calls and all partition
+// goroutines share one program.
+func (p *Pattern) Compile() *Compiled {
+	p.compileOnce.Do(func() { p.compiled = compile(p) })
+	return p.compiled
+}
+
+// compileObserved is Compile with the one-time build reported as
+// obs.SpanPatternCompile.
+func (p *Pattern) compileObserved(rec *obs.Recorder) *Compiled {
+	p.compileOnce.Do(func() {
+		defer rec.StartSpan(obs.SpanPatternCompile)()
+		p.compiled = compile(p)
+	})
+	return p.compiled
+}
+
+// compile lays the pattern nodes out in preorder and pre-resolves each
+// node's constraint thunk.
+func compile(p *Pattern) *Compiled {
+	c := &Compiled{}
+	var emit func(n *Node) int32
+	emit = func(n *Node) int32 {
+		idx := int32(len(c.prog))
+		c.prog = append(c.prog, cnode{
+			attr:     n.Attr,
+			desc:     n.Edge == DescendantEdge,
+			check:    compileCheck(n),
+			minCount: n.MinCount,
+			maxCount: n.MaxCount,
+		})
+		var kids []int32
+		for _, ch := range n.Children {
+			kids = append(kids, emit(ch))
+		}
+		c.prog[idx].children = kids
+		return idx
+	}
+	for _, ch := range p.Children {
+		c.roots = append(c.roots, emit(ch))
+	}
+	return c
+}
+
+// compileCheck fuses a node's value constraints into one thunk (nil when the
+// node is unconstrained). The constant operands are captured once here
+// instead of re-read per candidate.
+func compileCheck(n *Node) func(nested.Value) bool {
+	var checks []func(nested.Value) bool
+	if n.Eq != nil {
+		want := *n.Eq
+		checks = append(checks, func(v nested.Value) bool { return nested.Equal(v, want) })
+	}
+	if n.Contains != "" {
+		sub := n.Contains
+		checks = append(checks, func(v nested.Value) bool {
+			s, ok := v.AsString()
+			return ok && strings.Contains(s, sub)
+		})
+	}
+	if n.Lt != nil {
+		want := *n.Lt
+		checks = append(checks, func(v nested.Value) bool { return compareWidened(v, want) < 0 })
+	}
+	if n.Gt != nil {
+		want := *n.Gt
+		checks = append(checks, func(v nested.Value) bool { return compareWidened(v, want) > 0 })
+	}
+	switch len(checks) {
+	case 0:
+		return nil
+	case 1:
+		return checks[0]
+	}
+	all := checks
+	return func(v nested.Value) bool {
+		for _, c := range all {
+			if !c(v) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// MatchItem matches one data item with the compiled program; semantics are
+// identical to Pattern.MatchItem.
+func (c *Compiled) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
+	var all []binding
+	for _, r := range c.roots {
+		bs := c.matchNode(r, d, nil)
+		if bs == nil {
+			return nil, false
+		}
+		all = append(all, bs...)
+	}
+	return bindingsTree(all), true
+}
+
+// Match matches the compiled pattern against every row of the dataset in
+// parallel, one goroutine per partition.
+func (c *Compiled) Match(d *engine.Dataset) *backtrace.Structure {
+	return c.MatchObserved(d, nil)
+}
+
+// MatchObserved matches like Match and reports the matching phase as
+// obs.SpanPatternMatch.
+func (c *Compiled) MatchObserved(d *engine.Dataset, rec *obs.Recorder) *backtrace.Structure {
+	defer rec.StartSpan(obs.SpanPatternMatch)()
+	partResults := make([][]*backtrace.Item, len(d.Partitions))
+	var wg sync.WaitGroup
+	for pi := range d.Partitions {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			var items []*backtrace.Item
+			for _, row := range d.Partitions[pi] {
+				if tree, ok := c.MatchItem(row.Value); ok {
+					items = append(items, &backtrace.Item{ID: row.ID, Tree: tree})
+				}
+			}
+			partResults[pi] = items
+		}(pi)
+	}
+	wg.Wait()
+	out := backtrace.NewStructure()
+	for _, items := range partResults {
+		out.Items = append(out.Items, items...)
+	}
+	return out
+}
+
+// matchNode executes instruction i against context value ctx: all bindings,
+// or nil when the node does not match (including count violations) — the
+// compiled counterpart of the interpreter's matchNode.
+func (c *Compiled) matchNode(i int32, ctx nested.Value, prefix path.Path) []binding {
+	n := &c.prog[i]
+	out := c.collect(n, ctx, prefix, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	if n.minCount > 0 && len(out) < n.minCount {
+		return nil
+	}
+	if n.maxCount > 0 && len(out) > n.maxCount {
+		return nil
+	}
+	return out
+}
+
+// collect fuses the interpreter's locate and bindAt passes: occurrences are
+// bound as they are discovered, in the same traversal order locate produced,
+// without materialising the intermediate location slice.
+func (c *Compiled) collect(n *cnode, ctx nested.Value, prefix path.Path, out []binding) []binding {
+	switch ctx.Kind() {
+	case nested.KindItem:
+		for _, f := range ctx.Fields() {
+			p := prefix.Append(path.Step{Attr: f.Name, Index: path.NoIndex})
+			if f.Name == n.attr {
+				if b, ok := c.bindAt(n, f.Value, p); ok {
+					out = append(out, b)
+				}
+				if !n.desc {
+					continue
+				}
+			}
+			if n.desc {
+				out = c.collect(n, f.Value, p, out)
+			}
+		}
+	case nested.KindBag, nested.KindSet:
+		for i, e := range ctx.Elems() {
+			p := prefix.Append(path.Step{Index: i + 1})
+			out = c.collect(n, e, p, out)
+		}
+	}
+	return out
+}
+
+// bindAt applies the node's constraint thunk and child instructions at one
+// occurrence.
+func (c *Compiled) bindAt(n *cnode, val nested.Value, p path.Path) (binding, bool) {
+	if n.check != nil && !n.check(val) {
+		return binding{}, false
+	}
+	b := binding{path: p}
+	for _, ci := range n.children {
+		cb := c.matchNode(ci, val, p)
+		if cb == nil {
+			return binding{}, false
+		}
+		b.children = append(b.children, cb...)
+	}
+	return b, true
+}

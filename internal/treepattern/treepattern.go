@@ -85,8 +85,15 @@ func (n *Node) WithCount(min, max int) *Node {
 }
 
 // Pattern is a tree pattern whose implicit root is the top-level data item.
+// Do not copy a Pattern by value once it has matched — it caches its
+// compiled form (see compile.go).
 type Pattern struct {
 	Children []*Node
+
+	// compileOnce/compiled cache the one-time Compile() result shared by
+	// every Match on this pattern.
+	compileOnce sync.Once
+	compiled    *Compiled
 }
 
 // New returns a pattern with the given root children.
@@ -140,7 +147,9 @@ type binding struct {
 
 // MatchItem matches the pattern against one data item and returns the
 // backtracing tree of matched paths, or ok == false when the item does not
-// satisfy the pattern.
+// satisfy the pattern. This is the reference AST interpreter; the dataset
+// Match path runs the compiled form (compile.go) and is pinned against this
+// one by the oracle tests.
 func (p *Pattern) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
 	var all []binding
 	for _, c := range p.Children {
@@ -150,6 +159,12 @@ func (p *Pattern) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
 		}
 		all = append(all, bs...)
 	}
+	return bindingsTree(all), true
+}
+
+// bindingsTree folds the matched bindings into a backtracing tree of
+// contributing paths.
+func bindingsTree(all []binding) *backtrace.Tree {
 	t := backtrace.NewTree()
 	var addBindings func(bs []binding)
 	addBindings = func(bs []binding) {
@@ -159,7 +174,7 @@ func (p *Pattern) MatchItem(d nested.Value) (*backtrace.Tree, bool) {
 		}
 	}
 	addBindings(all)
-	return t, true
+	return t
 }
 
 // Match matches the pattern against every row of the dataset in parallel
@@ -173,30 +188,11 @@ func (p *Pattern) Match(d *engine.Dataset) *backtrace.Structure {
 // MatchObserved matches like Match and reports the matching phase's
 // duration into the recorder as obs.SpanPatternMatch (a nil recorder is
 // fine) — together with the tracer's backtrace span this splits query time
-// into its match and walk shares.
+// into its match and walk shares. The pattern is compiled once (reported as
+// obs.SpanPatternCompile on first use) and the compiled form — immutable and
+// race-clean — is shared by every partition goroutine and every later Match.
 func (p *Pattern) MatchObserved(d *engine.Dataset, rec *obs.Recorder) *backtrace.Structure {
-	defer rec.StartSpan(obs.SpanPatternMatch)()
-	partResults := make([][]*backtrace.Item, len(d.Partitions))
-	var wg sync.WaitGroup
-	for pi := range d.Partitions {
-		wg.Add(1)
-		go func(pi int) {
-			defer wg.Done()
-			var items []*backtrace.Item
-			for _, row := range d.Partitions[pi] {
-				if tree, ok := p.MatchItem(row.Value); ok {
-					items = append(items, &backtrace.Item{ID: row.ID, Tree: tree})
-				}
-			}
-			partResults[pi] = items
-		}(pi)
-	}
-	wg.Wait()
-	out := backtrace.NewStructure()
-	for _, items := range partResults {
-		out.Items = append(out.Items, items...)
-	}
-	return out
+	return p.compileObserved(rec).MatchObserved(d, rec)
 }
 
 // matchNode returns all bindings of pattern node n within context value ctx

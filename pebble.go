@@ -186,6 +186,29 @@ type ProvenanceRun = provenance.Run
 // ReadProvenance loads a provenance run persisted with (*ProvenanceRun).WriteTo.
 func ReadProvenance(r io.Reader) (*ProvenanceRun, error) { return provenance.ReadRun(r) }
 
+// ReadProvenanceLazy loads a run from its encoded bytes with on-demand
+// association decode: the stream is validated and indexed up front, but an
+// operator's association columns materialise only when a trace first touches
+// them — a backtrace visiting three operators of a large run decodes three
+// column regions. The run also carries a content hash pairing it with a
+// persisted index sidecar (Tracer.WriteIndexes / Tracer.LoadIndexes).
+func ReadProvenanceLazy(data []byte) (*ProvenanceRun, error) { return provenance.ReadRunLazy(data) }
+
+// Tracer answers provenance queries over one captured or reloaded run,
+// building per-operator association indexes on first use and reusing them
+// across queries. Persist the indexes with WriteIndexes and install them on
+// a fresh tracer with LoadIndexes to skip construction after a reload.
+type Tracer = backtrace.Tracer
+
+// NewTracer returns a tracer over the run. For query-heavy reload paths,
+// load the run with ReadProvenanceLazy and install a sidecar via
+// (*Tracer).LoadIndexes.
+func NewTracer(run *ProvenanceRun) *Tracer { return backtrace.NewTracer(run) }
+
+// CompiledPattern is the executable form of a tree pattern (see
+// (*Pattern).Compile); it is immutable and safe for concurrent matching.
+type CompiledPattern = treepattern.Compiled
+
 // OpID identifies an operator within a pipeline and its captured provenance
 // run; it is stable across serialisation, so an OpID noted at capture time
 // still addresses the same operator after ReadProvenance.
