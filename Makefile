@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench bench-overhead bench-codec bench-query breakdown scaling soak pebblevet
+.PHONY: build test check bench bench-overhead bench-codec bench-query bench-vectors breakdown scaling soak pebblevet
 
 build:
 	go build ./...
@@ -42,6 +42,13 @@ bench-codec:
 # format).
 bench-query:
 	go run ./cmd/benchrunner -exp query -gb 25 -reps 5 -out BENCH_PR6.json
+
+# Vectorization sweep: columnar batch executor vs the legacy row path for
+# every scenario, plain and under eager capture, including the byte-identity
+# cross-check; regenerates the committed baseline (BENCH_PR7.json,
+# EXPERIMENTS.md; DESIGN.md §10 documents the batch layout).
+bench-vectors:
+	go run ./cmd/benchrunner -exp vectors -gb 25 -reps 5 -out BENCH_PR7.json
 
 # Regenerate the per-operator capture breakdown baseline (BENCH_PR4.json,
 # EXPERIMENTS.md).

@@ -46,6 +46,42 @@ func (userExpr) Paths() []path.Path {
 	return []path.Path{path.New("user")}
 }
 
+// batchSumExpr is the vectorized-loop shape: Eval walks a whole batch of
+// element values and reads "weight" from each. The per-element read inside
+// the loop must still surface in Paths — bulk evaluation does not exempt an
+// expression from the capture contract.
+type batchSumExpr struct{}
+
+func (batchSumExpr) Eval(d nested.Value) (nested.Value, error) {
+	var out nested.Value
+	for _, elem := range d.Elems() {
+		v, _ := elem.Get("weight") // want `batchSumExpr.Eval reads attribute "weight" but batchSumExpr.Paths cannot report it`
+		out = v
+	}
+	return out, nil
+}
+
+func (batchSumExpr) Paths() []path.Path {
+	return []path.Path{path.New("items")}
+}
+
+// batchMaskExpr is the clean twin: the same bulk loop, with the per-element
+// read reported alongside the collection it ranges over.
+type batchMaskExpr struct{}
+
+func (batchMaskExpr) Eval(d nested.Value) (nested.Value, error) {
+	var out nested.Value
+	for _, elem := range d.Elems() {
+		v, _ := elem.Get("weight")
+		out = v
+	}
+	return out, nil
+}
+
+func (batchMaskExpr) Paths() []path.Path {
+	return []path.Path{path.New("items"), path.New("weight")}
+}
+
 // nameExpr evaluates "user.name" inline but only ever reports "user".
 type nameExpr struct{}
 

@@ -11,3 +11,8 @@ func (v Value) Get(name string) (Value, bool) {
 	f, ok := v.fields[name]
 	return f, ok
 }
+
+// Elems returns the collection elements of a bag/array value.
+func (v Value) Elems() []Value {
+	return nil
+}

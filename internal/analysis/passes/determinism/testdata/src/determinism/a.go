@@ -5,6 +5,7 @@ package determinism
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -106,6 +107,54 @@ func ignored(m map[string]int) string {
 		s += k
 	}
 	return s
+}
+
+// column is a stand-in for a decoded batch column (internal/engine/batch.go).
+type column struct {
+	valid []uint64
+	vals  []int64
+}
+
+// goodBatchRecycle mirrors the engine's putBatch shape: draining a per-batch
+// column cache back into a sync.Pool. delete commutes and pool insertion
+// order is unobservable (Get may return any pooled value): allowed.
+func goodBatchRecycle(cache map[string]*column, pool *sync.Pool) {
+	for k, c := range cache {
+		delete(cache, k)
+		pool.Put(c)
+	}
+}
+
+// badBatchDrain drains the same cache but appends the columns to a slice the
+// caller will iterate: cache order leaks into downstream work.
+func badBatchDrain(cache map[string]*column, out []*column) []*column {
+	for k, c := range cache { // want `collected here but never sorted`
+		delete(cache, k)
+		out = append(out, c)
+	}
+	return out
+}
+
+// goodValidityCount ranges a cached-column map but only folds validity
+// bitmaps into an integer population count: order-insensitive, allowed.
+func goodValidityCount(cache map[string]*column) int {
+	n := 0
+	for _, c := range cache {
+		for _, w := range c.valid {
+			for ; w != 0; w &= w - 1 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// badFirstColumn publishes whichever column the map yields first.
+func badFirstColumn(cache map[string]*column) *column {
+	for _, c := range cache { // want `map iteration order is nondeterministic`
+		return c
+	}
+	return nil
 }
 
 // badTime leaks the wall clock into an "identifier".

@@ -554,6 +554,29 @@ func (p *recordingPartition) Agg(ins []int64, out int64) {
 	}{p.oid, ins, out})
 }
 
+// Bulk range forms: expand into the same records as the per-row calls so the
+// assertions below cover both executors.
+func (p *recordingPartition) SourceRows(base int64, origIDs []int64) {
+	for i, orig := range origIDs {
+		p.SourceRow(base+int64(i), orig)
+	}
+}
+func (p *recordingPartition) UnaryRange(inIDs []int64, base int64) {
+	for i, in := range inIDs {
+		p.Unary(in, base+int64(i))
+	}
+}
+func (p *recordingPartition) BinaryRange(leftIDs, rightIDs []int64, base int64) {
+	for i := range leftIDs {
+		p.Binary(leftIDs[i], rightIDs[i], base+int64(i))
+	}
+}
+func (p *recordingPartition) FlattenRange(inIDs []int64, positions []int, base int64) {
+	for i := range inIDs {
+		p.Flatten(inIDs[i], positions[i], base+int64(i))
+	}
+}
+
 func TestCaptureEventsFigure1(t *testing.T) {
 	inputs := map[string]*Dataset{"tweets.json": dataset(t, "tweets.json", tab1(), 2)}
 	sink := newRecordingSink()

@@ -52,6 +52,13 @@ type Options struct {
 	// recording call sites are bulk (per partition morsel), so the disabled
 	// path costs only predictable nil checks.
 	Recorder *obs.Recorder
+	// RowExecution forces the legacy row-at-a-time operator internals
+	// instead of the default vectorized (columnar batch) execution. Results,
+	// identifiers, and captured provenance are byte-identical either way —
+	// the differential oracle diffs the two executors directly — and the
+	// row path is kept for one release as the reference semantics
+	// (DESIGN.md §10).
+	RowExecution bool
 }
 
 // OpStats reports per-operator execution metrics.
@@ -210,20 +217,6 @@ func (e *executor) reserve(oid int, n int64) int64 {
 	return e.gate.reserve(e.gen, oid, n)
 }
 
-// forEachPartition runs f for every logical partition index as morsels on
-// the worker pool (inline when sequential) and returns the first error.
-func (e *executor) forEachPartition(n int, f func(part int) error) error {
-	if e.pool == nil || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return e.pool.forEach(n, f)
-}
-
 // pending is a produced row awaiting its identifier, carrying the
 // association data the capture sink needs.
 type pending struct {
@@ -273,25 +266,10 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 		id := offsets[part]
 		for i, pr := range parts[part] {
 			rows[i] = Row{ID: id, Value: pr.value}
-			if ps != nil {
-				switch kind {
-				case assocUnary:
-					ps.Unary(pr.in1, id)
-				case assocBinary:
-					ps.Binary(pr.in1, pr.in2, id)
-				case assocFlatten:
-					ps.Flatten(pr.in1, pr.pos, id)
-				case assocAgg:
-					// The pending slice was built for the sink (see
-					// execAggregate); ownership transfers, no copy.
-					ps.Agg(pr.inIDs, id)
-				case assocMultiUnary:
-					for _, in := range pr.inIDs {
-						ps.Unary(in, id)
-					}
-				}
-			}
 			id++
+		}
+		if ps != nil {
+			e.emitAssocs(ps, parts[part], kind, offsets[part])
 		}
 		partitions[part] = rows
 		if rec := e.opts.Recorder; rec != nil {
@@ -306,6 +284,67 @@ func (e *executor) finalize(oid int, parts [][]pending, kind assocKind) (*Datase
 		return nil, err
 	}
 	return &Dataset{Partitions: partitions}, nil
+}
+
+// emitAssocs appends one partition morsel's associations to its sink
+// handle. The vectorized executor emits the whole morsel as one contiguous
+// id-range call (the output ids are base..base+len-1 by construction of
+// finalize), gathering the input ids into pooled scratch that the sink
+// copies out of; the row executor — and the per-row association layouts
+// (aggregate's variable-length id lists, distinct's multi-unary fan-out) —
+// append row by row. Both forms produce identical sink state in the same
+// append order.
+func (e *executor) emitAssocs(ps PartitionSink, prs []pending, kind assocKind, base int64) {
+	if e.vectorized() {
+		switch kind {
+		case assocUnary:
+			ids := getIDScratch(len(prs))
+			for i := range prs {
+				ids[i] = prs[i].in1
+			}
+			ps.UnaryRange(ids, base)
+			putIDScratch(ids)
+			return
+		case assocBinary:
+			l, r := getIDScratch(len(prs)), getIDScratch(len(prs))
+			for i := range prs {
+				l[i], r[i] = prs[i].in1, prs[i].in2
+			}
+			ps.BinaryRange(l, r, base)
+			putIDScratch(l)
+			putIDScratch(r)
+			return
+		case assocFlatten:
+			ids, pos := getIDScratch(len(prs)), getPosScratch(len(prs))
+			for i := range prs {
+				ids[i], pos[i] = prs[i].in1, prs[i].pos
+			}
+			ps.FlattenRange(ids, pos, base)
+			putIDScratch(ids)
+			putPosScratch(pos)
+			return
+		}
+	}
+	id := base
+	for _, pr := range prs {
+		switch kind {
+		case assocUnary:
+			ps.Unary(pr.in1, id)
+		case assocBinary:
+			ps.Binary(pr.in1, pr.in2, id)
+		case assocFlatten:
+			ps.Flatten(pr.in1, pr.pos, id)
+		case assocAgg:
+			// The pending slice was built for the sink (see execAggregate);
+			// ownership transfers, no copy.
+			ps.Agg(pr.inIDs, id)
+		case assocMultiUnary:
+			for _, in := range pr.inIDs {
+				ps.Unary(in, id)
+			}
+		}
+		id++
+	}
 }
 
 // assocRowCount counts the association rows finalize emits for one
@@ -365,10 +404,23 @@ func (e *executor) execSource(o *Op) (*Dataset, error) {
 		id := offsets[part]
 		for i, r := range in.Partitions[part] {
 			rows[i] = Row{ID: id, Value: r.Value}
-			if ps != nil {
-				ps.SourceRow(id, r.ID)
-			}
 			id++
+		}
+		if ps != nil {
+			if e.vectorized() {
+				orig := getIDScratch(len(in.Partitions[part]))
+				for i, r := range in.Partitions[part] {
+					orig[i] = r.ID
+				}
+				ps.SourceRows(offsets[part], orig)
+				putIDScratch(orig)
+			} else {
+				id = offsets[part]
+				for _, r := range in.Partitions[part] {
+					ps.SourceRow(id, r.ID)
+					id++
+				}
+			}
 		}
 		partitions[part] = rows
 		if rec := e.opts.Recorder; rec != nil {
@@ -392,19 +444,9 @@ func (e *executor) execFilter(o *Op) (*Dataset, error) {
 	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
 	parts := make([][]pending, len(in.Partitions))
 	err := e.forEachPartition(len(in.Partitions), func(part int) error {
-		var out []pending
-		for _, r := range in.Partitions[part] {
-			v, err := o.pred.Eval(r.Value)
-			if err != nil {
-				return err
-			}
-			keep, ok := v.AsBool()
-			if !ok {
-				return fmt.Errorf("filter predicate %s returned non-boolean %s", o.pred, v)
-			}
-			if keep {
-				out = append(out, pending{value: r.Value, in1: r.ID})
-			}
+		out, err := e.filterMorsel(o, in.Partitions[part])
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		if rec := e.opts.Recorder; rec != nil {
@@ -425,13 +467,9 @@ func (e *executor) execSelect(o *Op) (*Dataset, error) {
 	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
 	parts := make([][]pending, len(in.Partitions))
 	err := e.forEachPartition(len(in.Partitions), func(part int) error {
-		out := make([]pending, 0, len(in.Partitions[part]))
-		for _, r := range in.Partitions[part] {
-			item, err := evalSelect(o.fields, r.Value)
-			if err != nil {
-				return err
-			}
-			out = append(out, pending{value: item, in1: r.ID})
+		out, err := e.selectMorsel(o, in.Partitions[part])
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		if rec := e.opts.Recorder; rec != nil {
@@ -527,19 +565,9 @@ func (e *executor) execFlatten(o *Op) (*Dataset, error) {
 	e.startOperator(o, len(in.Partitions), nil, nil, nested.Null())
 	parts := make([][]pending, len(in.Partitions))
 	err := e.forEachPartition(len(in.Partitions), func(part int) error {
-		var out []pending
-		for _, r := range in.Partitions[part] {
-			col, ok := o.flattenCol.Eval(r.Value)
-			if !ok || col.IsNull() {
-				continue // no collection to explode
-			}
-			if !col.Kind().IsCollection() {
-				return fmt.Errorf("flatten: %s is %s, want bag or set", o.flattenCol, col.Kind())
-			}
-			for idx, elem := range col.Elems() {
-				v := r.Value.WithField(o.flattenNew, elem)
-				out = append(out, pending{value: v, in1: r.ID, pos: idx + 1})
-			}
+		out, err := e.flattenMorsel(o, in.Partitions[part])
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		if rec := e.opts.Recorder; rec != nil {
@@ -606,20 +634,26 @@ type keyedRow struct {
 	seq  int
 }
 
-// shuffle hash-partitions the dataset's rows into buckets by key expression,
+// shuffle hash-partitions the dataset's rows into buckets by shuffle key,
 // in two phases: a map phase evaluating and hashing keys per input
 // partition, and a merge phase concatenating the per-partition bucket runs
 // in parallel, one exactly-sized output bucket per morsel. The merge keeps
 // partition-major order inside every bucket, so the bucket contents are
 // byte-identical to a sequential merge.
 //
+// The map phase evaluates keys column-wise under the vectorized executor
+// (evalKeysVec decodes each key path once per batch); the hashed key values
+// are identical to the row path's, so bucket layout, cached hashes, and
+// sequence numbers do not depend on the executor.
+//
 // Rows with null keys are dropped (they can never match an equi-join and
 // SQL group-by treats them as their own group — callers that need null
 // groups pass keepNull).
 //
-// oid and keyOps feed the recorder: rows in, keys hashed, and the static
-// per-row expression cost of the key function.
-func (e *executor) shuffle(d *Dataset, oid int, key func(nested.Value) (nested.Value, error), keyOps int, buckets int, keepNull bool) ([][]keyedRow, error) {
+// oid feeds the recorder: rows in, keys hashed, and the static per-row
+// expression cost of the key.
+func (e *executor) shuffle(d *Dataset, oid int, sk shuffleKey, buckets int, keepNull bool) ([][]keyedRow, error) {
+	keyOps := sk.evalOps()
 	perPart := make([][][]keyedRow, len(d.Partitions))
 	// Global sequence numbers: partition-major.
 	starts := make([]int, len(d.Partitions))
@@ -631,10 +665,21 @@ func (e *executor) shuffle(d *Dataset, oid int, key func(nested.Value) (nested.V
 	err := e.forEachPartition(len(d.Partitions), func(part int) error {
 		local := make([][]keyedRow, buckets)
 		hashed := 0
-		for i, r := range d.Partitions[part] {
-			k, err := key(r.Value)
-			if err != nil {
-				return err
+		rows := d.Partitions[part]
+		var keys []nested.Value
+		if e.vectorized() {
+			keys, _ = evalKeysVec(sk, rows)
+		}
+		for i, r := range rows {
+			var k nested.Value
+			if keys != nil {
+				k = keys[i]
+			} else {
+				var err error
+				k, err = sk.eval(r.Value)
+				if err != nil {
+					return err
+				}
 			}
 			if k.IsNull() && !keepNull {
 				continue
@@ -646,7 +691,7 @@ func (e *executor) shuffle(d *Dataset, oid int, key func(nested.Value) (nested.V
 		}
 		perPart[part] = local
 		if rec := e.opts.Recorder; rec != nil {
-			n := int64(len(d.Partitions[part]))
+			n := int64(len(rows))
 			rec.Add(oid, part, obs.RowsIn, n)
 			rec.Add(oid, part, obs.KeysHashed, int64(hashed))
 			rec.Add(oid, part, obs.ExprEvals, n*int64(keyOps))
@@ -702,11 +747,11 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 		nParts += len(left.Partitions)
 	}
 	e.startOperator(o, nParts, topLevelSchema(left), topLevelSchema(right), nested.Null())
-	lb, err := e.shuffle(left, o.id, o.leftKey.Eval, EvalOps(o.leftKey), e.opts.Partitions, false)
+	lb, err := e.shuffle(left, o.id, exprShuffleKey(o.leftKey), e.opts.Partitions, false)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := e.shuffle(right, o.id, o.rightKey.Eval, EvalOps(o.rightKey), e.opts.Partitions, false)
+	rb, err := e.shuffle(right, o.id, exprShuffleKey(o.rightKey), e.opts.Partitions, false)
 	if err != nil {
 		return nil, err
 	}
@@ -852,10 +897,19 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 	err := e.forEachPartition(len(probeDS.Partitions), func(part int) error {
 		var out []pending
 		probeHashed := 0
-		for _, r := range probeDS.Partitions[part] {
-			k, err := probeKey.Eval(r.Value)
-			if err != nil {
-				return err
+		// The probe side's keys are evaluated column-wise under the
+		// vectorized executor; probing itself stays row-ordered.
+		keys, _ := e.probeKeysMorsel(probeKey, probeDS.Partitions[part])
+		for ri, r := range probeDS.Partitions[part] {
+			var k nested.Value
+			if keys != nil {
+				k = keys[ri]
+			} else {
+				var err error
+				k, err = probeKey.Eval(r.Value)
+				if err != nil {
+					return err
+				}
 			}
 			if k.IsNull() {
 				continue
@@ -911,18 +965,7 @@ func concatItems(l, r nested.Value) (nested.Value, error) {
 func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 	in := e.in(o, 0)
 	e.startOperator(o, e.opts.Partitions, nil, nil, sampleRow(in))
-	keyFn := func(d nested.Value) (nested.Value, error) {
-		fields := make([]nested.Field, len(o.groupBy))
-		for i, g := range o.groupBy {
-			v, ok := g.Path.Eval(d)
-			if !ok {
-				v = nested.Null()
-			}
-			fields[i] = nested.F(g.Name, v)
-		}
-		return nested.Item(fields...), nil
-	}
-	buckets, err := e.shuffle(in, o.id, keyFn, len(o.groupBy), e.opts.Partitions, true)
+	buckets, err := e.shuffle(in, o.id, groupShuffleKey(o.groupBy), e.opts.Partitions, true)
 	if err != nil {
 		return nil, err
 	}

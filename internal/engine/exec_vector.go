@@ -1,0 +1,457 @@
+package engine
+
+import (
+	"fmt"
+
+	"pebble/internal/nested"
+	"pebble/internal/path"
+)
+
+// Vectorized morsel bodies. Each exec* operator keeps a single shared shell
+// (startOperator, forEachPartition, recorder bulk adds, finalize) and
+// dispatches the per-partition work here: the vectorized body chunks the
+// morsel into batches of batchSize rows, evaluates expressions column-wise,
+// and gathers outputs; when vectorized evaluation signals a fallback (see
+// evalVec's error contract) the whole partition re-runs through the
+// row-at-a-time body, reproducing the row engine's exact error or output.
+// Options.RowExecution skips the vector attempt entirely.
+
+// vectorized reports whether this run uses the columnar executor.
+func (e *executor) vectorized() bool { return !e.opts.RowExecution }
+
+// ---- filter ----
+
+func (e *executor) filterMorsel(o *Op, rows []Row) ([]pending, error) {
+	if e.vectorized() {
+		if out, ok := filterMorselVec(o.pred, rows); ok {
+			return out, nil
+		}
+	}
+	return filterMorselRow(o, rows)
+}
+
+func filterMorselRow(o *Op, rows []Row) ([]pending, error) {
+	var out []pending
+	for _, r := range rows {
+		v, err := o.pred.Eval(r.Value)
+		if err != nil {
+			return nil, err
+		}
+		keep, ok := v.AsBool()
+		if !ok {
+			return nil, fmt.Errorf("filter predicate %s returned non-boolean %s", o.pred, v)
+		}
+		if keep {
+			out = append(out, pending{value: r.Value, in1: r.ID})
+		}
+	}
+	return out, nil
+}
+
+func filterMorselVec(pred Expr, rows []Row) ([]pending, bool) {
+	var out []pending
+	for start := 0; start < len(rows); start += batchSize {
+		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		b := getBatch(chunk)
+		c, err := evalVec(pred, b)
+		if err != nil {
+			putBatch(b)
+			return nil, false
+		}
+		// The predicate must be boolean on every row (filter does not
+		// short-circuit); count survivors first for an exact-size gather.
+		// Predicate kernels produce an all-valid bool column (boolCol), so
+		// the common case scans the raw truth array without per-row dispatch.
+		if c.kind == nested.KindBool && c.valid == nil && !c.bcast {
+			keep := 0
+			for _, t := range c.bools {
+				if t {
+					keep++
+				}
+			}
+			if out == nil && keep > 0 {
+				out = make([]pending, 0, keep+(len(rows)-start-len(chunk)))
+			}
+			for i, t := range c.bools {
+				if t {
+					out = append(out, pending{value: chunk[i].Value, in1: chunk[i].ID})
+				}
+			}
+			putBatch(b)
+			continue
+		}
+		keep := 0
+		for i := range chunk {
+			truth, ok := asBoolAt(c, i)
+			if !ok {
+				putBatch(b)
+				return nil, false
+			}
+			if truth {
+				keep++
+			}
+		}
+		if out == nil && keep > 0 {
+			out = make([]pending, 0, keep+(len(rows)-start-len(chunk)))
+		}
+		for i := range chunk {
+			if truth, _ := asBoolAt(c, i); truth {
+				out = append(out, pending{value: chunk[i].Value, in1: chunk[i].ID})
+			}
+		}
+		putBatch(b)
+	}
+	return out, true
+}
+
+// ---- select ----
+
+func (e *executor) selectMorsel(o *Op, rows []Row) ([]pending, error) {
+	if e.vectorized() {
+		if out, ok := selectMorselVec(o.fields, rows); ok {
+			return out, nil
+		}
+	}
+	return selectMorselRow(o, rows)
+}
+
+func selectMorselRow(o *Op, rows []Row) ([]pending, error) {
+	out := make([]pending, 0, len(rows))
+	for _, r := range rows {
+		item, err := evalSelect(o.fields, r.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pending{value: item, in1: r.ID})
+	}
+	return out, nil
+}
+
+// selCol holds the evaluated columns of one select field for a chunk:
+// exactly one of col (passthrough column read), sub (nested struct), or expr
+// (computed field) is set, mirroring SelectField. Passthrough fields keep
+// the access path instead of a decoded column: assembly reads each exactly
+// once and boxes the value per output row regardless, so the columnar
+// decode would copy every value into the column just for at() to copy it
+// straight back out (same single-read bypass as evalKeysVec). Computed
+// fields still evaluate column-wise — they are where the typed kernels win,
+// and any column they share stays deduplicated through the batch cache.
+type selCol struct {
+	col  path.Path
+	sub  []selCol
+	expr *colVec
+}
+
+func prepSelectCols(fields []SelectField, b *batch) ([]selCol, error) {
+	out := make([]selCol, len(fields))
+	for i, f := range fields {
+		switch {
+		case len(f.Col) > 0:
+			out[i].col = f.Col
+		case len(f.Struct) > 0:
+			sub, err := prepSelectCols(f.Struct, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i].sub = sub
+		case f.Expr != nil:
+			c, err := evalVec(f.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i].expr = c
+		default:
+			// The row path reports this as an error on the first row; let it.
+			return nil, errFallback
+		}
+	}
+	return out, nil
+}
+
+// assembleSelect builds row i's output item from the prepared columns —
+// field order and null coercion identical to evalSelect.
+func assembleSelect(fields []SelectField, cols []selCol, i int, row nested.Value) nested.Value {
+	out := make([]nested.Field, 0, len(fields))
+	for j, f := range fields {
+		switch {
+		case cols[j].col != nil:
+			out = append(out, nested.F(f.Name, evalColDirect(cols[j].col, row)))
+		case cols[j].sub != nil:
+			out = append(out, nested.F(f.Name, assembleSelect(f.Struct, cols[j].sub, i, row)))
+		default:
+			out = append(out, nested.F(f.Name, cols[j].expr.at(i)))
+		}
+	}
+	return nested.Item(out...)
+}
+
+func selectMorselVec(fields []SelectField, rows []Row) ([]pending, bool) {
+	out := make([]pending, 0, len(rows))
+	for start := 0; start < len(rows); start += batchSize {
+		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		b := getBatch(chunk)
+		cols, err := prepSelectCols(fields, b)
+		if err != nil {
+			putBatch(b)
+			return nil, false
+		}
+		for i := range chunk {
+			out = append(out, pending{value: assembleSelect(fields, cols, i, chunk[i].Value), in1: chunk[i].ID})
+		}
+		putBatch(b)
+	}
+	return out, true
+}
+
+// ---- flatten ----
+
+func (e *executor) flattenMorsel(o *Op, rows []Row) ([]pending, error) {
+	if e.vectorized() {
+		if out, ok := flattenMorselVec(o, rows); ok {
+			return out, nil
+		}
+	}
+	return flattenMorselRow(o, rows)
+}
+
+func flattenMorselRow(o *Op, rows []Row) ([]pending, error) {
+	var out []pending
+	for _, r := range rows {
+		col, ok := o.flattenCol.Eval(r.Value)
+		if !ok || col.IsNull() {
+			continue // no collection to explode
+		}
+		if !col.Kind().IsCollection() {
+			return nil, fmt.Errorf("flatten: %s is %s, want bag or set", o.flattenCol, col.Kind())
+		}
+		for idx, elem := range col.Elems() {
+			v := r.Value.WithField(o.flattenNew, elem)
+			out = append(out, pending{value: v, in1: r.ID, pos: idx + 1})
+		}
+	}
+	return out, nil
+}
+
+func flattenMorselVec(o *Op, rows []Row) ([]pending, bool) {
+	var out []pending
+	for start := 0; start < len(rows); start += batchSize {
+		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		b := getBatch(chunk)
+		c := b.column(o.flattenCol)
+		// Offsets pass over the nested bags: validate kinds and pre-size the
+		// exploded output exactly before building a single row. Bags are
+		// never scalar, so the decoded column is generic storage in practice
+		// — index vals directly (the accessors inline over addressable
+		// elements) instead of paying at()'s struct-return copy per read.
+		if c.kind == nested.KindInvalid && !c.bcast {
+			vals := c.vals
+			total := 0
+			for i := range vals {
+				if vals[i].IsNull() {
+					continue
+				}
+				if !vals[i].Kind().IsCollection() {
+					putBatch(b)
+					return nil, false // row path reproduces the type error
+				}
+				total += vals[i].Len()
+			}
+			if total > 0 && cap(out)-len(out) < total {
+				grown := make([]pending, len(out), len(out)+total)
+				copy(grown, out)
+				out = grown
+			}
+			for i := range vals {
+				if vals[i].IsNull() {
+					continue
+				}
+				for idx, elem := range vals[i].Elems() {
+					out = append(out, pending{value: chunk[i].Value.WithField(o.flattenNew, elem), in1: chunk[i].ID, pos: idx + 1})
+				}
+			}
+			putBatch(b)
+			continue
+		}
+		total := 0
+		for i := range chunk {
+			v := c.at(i)
+			if v.IsNull() {
+				continue
+			}
+			if !v.Kind().IsCollection() {
+				putBatch(b)
+				return nil, false // row path reproduces the type error
+			}
+			total += v.Len()
+		}
+		if total > 0 && cap(out)-len(out) < total {
+			grown := make([]pending, len(out), len(out)+total)
+			copy(grown, out)
+			out = grown
+		}
+		for i := range chunk {
+			v := c.at(i)
+			if v.IsNull() {
+				continue
+			}
+			for idx, elem := range v.Elems() {
+				out = append(out, pending{value: chunk[i].Value.WithField(o.flattenNew, elem), in1: chunk[i].ID, pos: idx + 1})
+			}
+		}
+		putBatch(b)
+	}
+	return out, true
+}
+
+// ---- shuffle keys ----
+
+// evalKeysVec evaluates a shuffle key over a whole morsel, one batch at a
+// time, materialising the per-row key values. ok is false when the morsel
+// must fall back to row-at-a-time key evaluation (identity keys always do —
+// the key is the row itself and decoding it would only copy).
+//
+// Columnar decode only pays when a column feeds a typed kernel or is read
+// more than once. Key materialisation reads each column exactly once and
+// boxes the value per row regardless, so pure column keys (a colExpr key, or
+// a groupBy list — the overwhelmingly common aggregate/join shape) bypass
+// the batch machinery: the decode would copy every value into the column
+// just for at() to copy it straight back out. The bypass produces the exact
+// value decodeColumn would have stored — p.Eval's result, or nested.Null()
+// for an absent path — so both routes are byte-identical by construction.
+func evalKeysVec(k shuffleKey, rows []Row) ([]nested.Value, bool) {
+	if k.identity || len(rows) == 0 {
+		return nil, false
+	}
+	if k.expr == nil {
+		keys := make([]nested.Value, len(rows))
+		for i, r := range rows {
+			fields := make([]nested.Field, len(k.groupBy))
+			for gi, g := range k.groupBy {
+				fields[gi] = nested.F(g.Name, evalColDirect(g.Path, r.Value))
+			}
+			keys[i] = nested.Item(fields...)
+		}
+		return keys, true
+	}
+	if ce, ok := k.expr.(colExpr); ok {
+		keys := make([]nested.Value, len(rows))
+		for i, r := range rows {
+			keys[i] = evalColDirect(ce.p, r.Value)
+		}
+		return keys, true
+	}
+	keys := make([]nested.Value, 0, len(rows))
+	for start := 0; start < len(rows); start += batchSize {
+		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		b := getBatch(chunk)
+		c, err := evalVec(k.expr, b)
+		if err != nil {
+			putBatch(b)
+			return nil, false
+		}
+		for i := range chunk {
+			keys = append(keys, c.at(i))
+		}
+		putBatch(b)
+	}
+	return keys, true
+}
+
+// sortKeysMorsel evaluates orderBy's sort keys for a run of rows, vectorized
+// when enabled; the fallback is the row engine's nested Eval loop.
+func (e *executor) sortKeysMorsel(sortKeys []Expr, rows []Row) ([][]nested.Value, error) {
+	if e.vectorized() {
+		if keys, ok := sortKeysVec(sortKeys, rows); ok {
+			return keys, nil
+		}
+	}
+	keys := make([][]nested.Value, len(rows))
+	for i, r := range rows {
+		ks := make([]nested.Value, len(sortKeys))
+		for j, k := range sortKeys {
+			v, err := k.Eval(r.Value)
+			if err != nil {
+				return nil, err
+			}
+			ks[j] = v
+		}
+		keys[i] = ks
+	}
+	return keys, nil
+}
+
+func sortKeysVec(sortKeys []Expr, rows []Row) ([][]nested.Value, bool) {
+	// Pure column keys take the same single-read bypass as evalKeysVec: each
+	// key value is read once and boxed into the per-row key slice either
+	// way, so the columnar detour would only add copies.
+	allCols := true
+	for _, k := range sortKeys {
+		if _, ok := k.(colExpr); !ok {
+			allCols = false
+			break
+		}
+	}
+	if allCols {
+		keys := make([][]nested.Value, len(rows))
+		for i, r := range rows {
+			ks := make([]nested.Value, len(sortKeys))
+			for j, k := range sortKeys {
+				ks[j] = evalColDirect(k.(colExpr).p, r.Value)
+			}
+			keys[i] = ks
+		}
+		return keys, true
+	}
+	keys := make([][]nested.Value, len(rows))
+	for start := 0; start < len(rows); start += batchSize {
+		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		b := getBatch(chunk)
+		cols := make([]*colVec, len(sortKeys))
+		for j, k := range sortKeys {
+			c, err := evalVec(k, b)
+			if err != nil {
+				putBatch(b)
+				return nil, false
+			}
+			cols[j] = c
+		}
+		for i := range chunk {
+			ks := make([]nested.Value, len(sortKeys))
+			for j := range sortKeys {
+				ks[j] = cols[j].at(i)
+			}
+			keys[start+i] = ks
+		}
+		putBatch(b)
+	}
+	return keys, true
+}
+
+// probeKeysMorsel evaluates a broadcast join's probe-side key per partition,
+// vectorized when enabled; nil values mark rows whose key errored — they
+// cannot occur (an erroring key falls back to the row loop instead).
+func (e *executor) probeKeysMorsel(key Expr, rows []Row) ([]nested.Value, bool) {
+	if !e.vectorized() {
+		return nil, false
+	}
+	return evalKeysVec(exprShuffleKey(key), rows)
+}
+
+// evalColDirect is the single-row equivalent of a decode-then-at round trip:
+// the value a decoded column's at() would return for this row — p.Eval's
+// result with absent paths and explicit nulls both normalised to the
+// canonical null, exactly like decodeColumn.
+func evalColDirect(p path.Path, row nested.Value) nested.Value {
+	v, ok := p.Eval(row)
+	if !ok || v.Kind() == nested.KindNull {
+		return nested.Null()
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -110,26 +110,36 @@ func (c cmpExpr) Eval(d nested.Value) (nested.Value, error) {
 	if err != nil {
 		return nested.Value{}, err
 	}
+	return c.apply(lv, rv), nil
+}
+
+// apply is the scalar comparison kernel, shared verbatim between the row
+// engine (Eval) and the vectorized executor's generic comparison loop —
+// null handling first, then the widened three-way compare.
+func (c cmpExpr) apply(lv, rv nested.Value) nested.Value {
 	if lv.IsNull() || rv.IsNull() {
-		return nested.Bool(c.op == opNe && !(lv.IsNull() && rv.IsNull())), nil
+		return nested.Bool(c.op == opNe && !(lv.IsNull() && rv.IsNull()))
 	}
-	cmp := compareWidened(lv, rv)
-	var out bool
-	switch c.op {
+	return nested.Bool(c.op.truth(compareWidened(lv, rv)))
+}
+
+// truth maps a three-way comparison result to the operator's truth value.
+func (op cmpOp) truth(cmp int) bool {
+	switch op {
 	case opEq:
-		out = cmp == 0
+		return cmp == 0
 	case opNe:
-		out = cmp != 0
+		return cmp != 0
 	case opLt:
-		out = cmp < 0
+		return cmp < 0
 	case opLe:
-		out = cmp <= 0
+		return cmp <= 0
 	case opGt:
-		out = cmp > 0
+		return cmp > 0
 	case opGe:
-		out = cmp >= 0
+		return cmp >= 0
 	}
-	return nested.Bool(out), nil
+	return false
 }
 
 // compareWidened compares two values, widening int/double pairs so that
@@ -242,9 +252,15 @@ func (c containsExpr) Eval(d nested.Value) (nested.Value, error) {
 	if err != nil {
 		return nested.Value{}, err
 	}
+	return c.apply(sv, subv), nil
+}
+
+// apply is the scalar containment kernel shared with the vectorized
+// executor; null or non-string operands evaluate to false.
+func (c containsExpr) apply(sv, subv nested.Value) nested.Value {
 	s, ok1 := sv.AsString()
 	sub, ok2 := subv.AsString()
-	return nested.Bool(ok1 && ok2 && strings.Contains(s, sub)), nil
+	return nested.Bool(ok1 && ok2 && strings.Contains(s, sub))
 }
 
 func (c containsExpr) Paths() []path.Path { return append(c.str.Paths(), c.substr.Paths()...) }

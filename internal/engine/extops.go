@@ -15,8 +15,7 @@ import (
 func (e *executor) execDistinct(o *Op) (*Dataset, error) {
 	in := e.in(o, 0)
 	e.startOperator(o, e.opts.Partitions, nil, nil, nested.Null())
-	buckets, err := e.shuffle(in, o.id, func(v nested.Value) (nested.Value, error) { return v, nil },
-		0, e.opts.Partitions, true)
+	buckets, err := e.shuffle(in, o.id, identityShuffleKey(), e.opts.Partitions, true)
 	if err != nil {
 		return nil, err
 	}
@@ -80,17 +79,13 @@ func (e *executor) execOrderBy(o *Op) (*Dataset, error) {
 		rec.Add(o.id, 0, obs.RowsIn, int64(len(rows)))
 		rec.Add(o.id, 0, obs.ExprEvals, int64(len(rows))*int64(sortOps))
 	}
+	allKeys, err := e.sortKeysMorsel(o.sortKeys, rows)
+	if err != nil {
+		return nil, err
+	}
 	sorted := make([]keyedSortRow, len(rows))
 	for i, r := range rows {
-		keys := make([]nested.Value, len(o.sortKeys))
-		for j, k := range o.sortKeys {
-			v, err := k.Eval(r.Value)
-			if err != nil {
-				return nil, err
-			}
-			keys[j] = v
-		}
-		sorted[i] = keyedSortRow{row: r, keys: keys, seq: i}
+		sorted[i] = keyedSortRow{row: r, keys: allKeys[i], seq: i}
 	}
 	sort.SliceStable(sorted, func(i, j int) bool {
 		for k := range sorted[i].keys {

@@ -385,3 +385,55 @@ func (p *Pipeline) String() string {
 	}
 	return strings.Join(lines, "\n")
 }
+
+// shuffleKey declaratively describes the key of a shuffle so the executor
+// can evaluate it either row-at-a-time (eval) or column-at-a-time over a
+// batch (the vectorized shuffle map phase). Exactly one of the three shapes
+// is set: an expression key (join sides), a grouping-attribute key
+// (aggregate), or the identity key (distinct, which shuffles whole rows).
+type shuffleKey struct {
+	expr     Expr
+	groupBy  []GroupKey
+	identity bool
+}
+
+// exprShuffleKey wraps a join-side key expression.
+func exprShuffleKey(e Expr) shuffleKey { return shuffleKey{expr: e} }
+
+// groupShuffleKey wraps an aggregate's grouping attributes; the key value is
+// the item ⟨Name: value-at-Path, ...⟩ with absent paths as null.
+func groupShuffleKey(gs []GroupKey) shuffleKey { return shuffleKey{groupBy: gs} }
+
+// identityShuffleKey keys every row by its own value (distinct).
+func identityShuffleKey() shuffleKey { return shuffleKey{identity: true} }
+
+// eval is the row-at-a-time key function; the canonical semantics the
+// vectorized map phase must reproduce byte for byte.
+func (k shuffleKey) eval(v nested.Value) (nested.Value, error) {
+	switch {
+	case k.identity:
+		return v, nil
+	case k.expr != nil:
+		return k.expr.Eval(v)
+	}
+	fields := make([]nested.Field, len(k.groupBy))
+	for i, g := range k.groupBy {
+		gv, ok := g.Path.Eval(v)
+		if !ok {
+			gv = nested.Null()
+		}
+		fields[i] = nested.F(g.Name, gv)
+	}
+	return nested.Item(fields...), nil
+}
+
+// evalOps is the static per-row expression cost of the key (see EvalOps).
+func (k shuffleKey) evalOps() int {
+	switch {
+	case k.identity:
+		return 0
+	case k.expr != nil:
+		return EvalOps(k.expr)
+	}
+	return len(k.groupBy)
+}

@@ -77,6 +77,23 @@ func (p *workerPool) forEach(n int, f func(i int) error) error {
 	return nil
 }
 
+// forEachPartition runs f for every logical partition index as morsels on
+// the worker pool (inline when sequential) and returns the first error.
+// Under the vectorized executor each morsel internally chunks its rows into
+// column batches (batch.go) drawn from pools shared across all workers;
+// the morsel is still the unit of scheduling and of capture-sink handles.
+func (e *executor) forEachPartition(n int, f func(part int) error) error {
+	if e.pool == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.pool.forEach(n, f)
+}
+
 // reserveGate orders IDGen reservations by operator id (= plan order).
 // Operators compute their pending rows fully in parallel and only queue here
 // for the brief Reserve call, so the gate costs no meaningful parallelism

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"pebble/internal/nested"
+)
+
+// This file proves the vectorized executor byte-identical to the row
+// executor at the batch boundaries that matter: partition sizes straddling
+// batchSize, empty partitions, all-null and kind-shifting columns, and
+// deeply nested bags whose flattened output crosses chunk edges. Each case
+// runs the same pipeline under both executors and compares the result rows
+// (ids and values) and the full capture-sink stream.
+
+// genRows builds n deterministic rows shaped like the corpus base schema,
+// with every vectorization hazard mixed in: missing attributes (decoded as
+// Null), explicit nulls, kind switches within a column (int → string), and
+// nested bags of items with sub-bags.
+func genRows(seed int64, n int) []nested.Value {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]nested.Value, 0, n)
+	words := []string{"x", "y", "z", "w"}
+	for i := 0; i < n; i++ {
+		fields := []nested.Field{
+			nested.F("id", nested.Int(int64(i))),
+		}
+		switch r.Intn(5) {
+		case 0: // missing val entirely
+		case 1:
+			fields = append(fields, nested.F("val", nested.Null()))
+		case 2: // kind switch: string where ints usually live
+			fields = append(fields, nested.F("val", nested.StringVal(words[r.Intn(4)])))
+		default:
+			fields = append(fields, nested.F("val", nested.Int(int64(r.Intn(20)))))
+		}
+		if r.Intn(4) > 0 {
+			fields = append(fields, nested.F("cat", nested.StringVal(words[r.Intn(4)])))
+		}
+		nm := r.Intn(4)
+		ms := make([]nested.Value, 0, nm)
+		for j := 0; j < nm; j++ {
+			nt := r.Intn(3)
+			tags := make([]nested.Value, 0, nt)
+			for k := 0; k < nt; k++ {
+				tags = append(tags, nested.StringVal(words[r.Intn(4)]))
+			}
+			ms = append(ms, nested.Item(
+				nested.F("k", nested.StringVal(words[r.Intn(4)])),
+				nested.F("tags", nested.Bag(tags...)),
+			))
+		}
+		fields = append(fields, nested.F("subs", nested.Bag(ms...)))
+		rows = append(rows, nested.Item(fields...))
+	}
+	return rows
+}
+
+// boundaryPipeline exercises every vectorized operator path: filter with
+// short-circuit booleans, select with computed and nested fields, flatten
+// (twice, through nested bags), aggregate, orderBy, and distinct.
+func boundaryPipeline() *Pipeline {
+	p := NewPipeline()
+	src := p.Source("in")
+	filt := p.Filter(src, Or(IsNull(Col("val")), And(Gt(Col("id"), LitInt(-1)), Not(Eq(Col("cat"), LitString("q"))))))
+	flat := p.Flatten(filt, "subs", "sub")
+	flat2 := p.Flatten(flat, "sub.tags", "tag")
+	sel := p.Select(flat2,
+		Column("id", "id"),
+		Column("k", "sub.k"),
+		Column("tag", "tag"),
+		Computed("has_x", Contains(Col("tag"), LitString("x"))),
+	)
+	agg := p.Aggregate(sel, []GroupKey{Key("k")}, []AggSpec{
+		Agg(AggCount, "", "n"),
+		Agg(AggCollectList, "id", "ids"),
+	})
+	ord := p.OrderBy(agg, false, Col("k"))
+	p.SetSink(p.Distinct(ord))
+	return p
+}
+
+// runBoth executes the pipeline fresh under the vectorized and the row
+// executor with recording sinks and returns both (rows, sink stream)
+// renderings.
+func runBoth(t *testing.T, build func() *Pipeline, values []nested.Value, parts int, opts Options) (vec, row [2]string) {
+	t.Helper()
+	for i, rowExec := range []bool{false, true} {
+		sink := newRecordingSink()
+		o := opts
+		o.Partitions = parts
+		o.RowExecution = rowExec
+		o.Sink = sink
+		inputs := map[string]*Dataset{"in": dataset(t, "in", values, parts)}
+		res := runPipeline(t, build(), inputs, o)
+		var sb strings.Builder
+		for _, r := range res.Output.Rows() {
+			fmt.Fprintf(&sb, "%d:%s\n", r.ID, r.Value)
+		}
+		out := [2]string{sb.String(), sink.stream()}
+		if i == 0 {
+			vec = out
+		} else {
+			row = out
+		}
+	}
+	return vec, row
+}
+
+// stream renders every recorded capture event deterministically.
+func (s *recordingSink) stream() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sb strings.Builder
+	for _, id := range s.sources {
+		fmt.Fprintf(&sb, "src %d\n", id)
+	}
+	for _, u := range s.unaries {
+		fmt.Fprintf(&sb, "u %d %d->%d\n", u.oid, u.in, u.out)
+	}
+	for _, b := range s.binaries {
+		fmt.Fprintf(&sb, "b %d %d,%d->%d\n", b.oid, b.l, b.r, b.out)
+	}
+	for _, f := range s.flattens {
+		fmt.Fprintf(&sb, "f %d %d[%d]->%d\n", f.oid, f.in, f.pos, f.out)
+	}
+	for _, a := range s.aggs {
+		fmt.Fprintf(&sb, "a %d %v->%d\n", a.oid, a.ins, a.out)
+	}
+	return sb.String()
+}
+
+func TestRowVsVectorAtBatchBoundaries(t *testing.T) {
+	sizes := []int{1, batchSize - 1, batchSize, batchSize + 1, 2*batchSize + 1}
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("rows=%d", n), func(t *testing.T) {
+			vec, row := runBoth(t, boundaryPipeline, genRows(int64(n), n), 1, Options{Workers: 1})
+			if vec[0] != row[0] {
+				t.Errorf("results diverge at %d rows:\nvec: %s\nrow: %s", n, head(vec[0]), head(row[0]))
+			}
+			if vec[1] != row[1] {
+				t.Errorf("capture streams diverge at %d rows:\nvec: %s\nrow: %s", n, head(vec[1]), head(row[1]))
+			}
+		})
+	}
+}
+
+func TestRowVsVectorEmptyPartitions(t *testing.T) {
+	// 3 rows over 8 partitions: most morsels are empty, several hold one row.
+	// Workers stays 1 so the recorded event stream has one canonical order
+	// (cross-worker agreement is the oracle's job, on serialized runs).
+	vec, row := runBoth(t, boundaryPipeline, genRows(7, 3), 8, Options{Workers: 1})
+	if vec[0] != row[0] || vec[1] != row[1] {
+		t.Errorf("executors diverge on mostly-empty partitions:\nvec: %s\nrow: %s", head(vec[0]), head(row[0]))
+	}
+}
+
+// TestRowVsVectorAllNullColumn pins the validity-bitmap edge cases: a column
+// that is entirely absent, one that is explicitly null everywhere, and one
+// that switches kind exactly at the batch boundary (forcing the all-null
+// prefix backfill and the typed→generic demotion paths in decodeColumn).
+func TestRowVsVectorAllNullColumn(t *testing.T) {
+	n := batchSize + 37
+	rows := make([]nested.Value, 0, n)
+	for i := 0; i < n; i++ {
+		fields := []nested.Field{nested.F("id", nested.Int(int64(i))), nested.F("exp", nested.Null())}
+		// "late" is null for the whole first batch, then becomes an int.
+		if i >= batchSize {
+			fields = append(fields, nested.F("late", nested.Int(int64(i))))
+		}
+		// "shift" changes kind mid-batch: int, then string.
+		if i < n/2 {
+			fields = append(fields, nested.F("shift", nested.Int(int64(i%5))))
+		} else {
+			fields = append(fields, nested.F("shift", nested.StringVal("s")))
+		}
+		rows = append(rows, nested.Item(fields...))
+	}
+	build := func() *Pipeline {
+		p := NewPipeline()
+		src := p.Source("in")
+		filt := p.Filter(src, Or(IsNull(Col("missing")), IsNull(Col("exp"))))
+		sel := p.Select(filt,
+			Column("id", "id"),
+			Column("m", "missing"),
+			Column("e", "exp"),
+			Column("l", "late"),
+			Column("s", "shift"),
+			Computed("ln", Len(Col("shift"))),
+		)
+		p.SetSink(p.OrderBy(sel, true, Col("id")))
+		return p
+	}
+	vec, row := runBoth(t, build, rows, 1, Options{Workers: 1})
+	if vec[0] != row[0] {
+		t.Errorf("results diverge:\nvec: %s\nrow: %s", head(vec[0]), head(row[0]))
+	}
+	if vec[1] != row[1] {
+		t.Errorf("capture streams diverge:\nvec: %s\nrow: %s", head(vec[1]), head(row[1]))
+	}
+}
+
+// TestRowVsVectorDeepBagsAcrossBoundaries explodes nested bags so the
+// flatten output of one input chunk lands across several output batch
+// chunks, at sizes chosen so bags straddle the 256-row edges.
+func TestRowVsVectorDeepBagsAcrossBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := batchSize + 11
+	rows := make([]nested.Value, 0, n)
+	for i := 0; i < n; i++ {
+		nb := r.Intn(5) // 0..4 elements: output crosses chunk edges unpredictably
+		elems := make([]nested.Value, 0, nb)
+		for j := 0; j < nb; j++ {
+			inner := make([]nested.Value, 0, j)
+			for k := 0; k < j; k++ {
+				inner = append(inner, nested.Int(int64(k)))
+			}
+			elems = append(elems, nested.Item(
+				nested.F("j", nested.Int(int64(j))),
+				nested.F("inner", nested.Bag(inner...)),
+			))
+		}
+		rows = append(rows, nested.Item(
+			nested.F("id", nested.Int(int64(i))),
+			nested.F("bag", nested.Bag(elems...)),
+		))
+	}
+	build := func() *Pipeline {
+		p := NewPipeline()
+		src := p.Source("in")
+		f1 := p.Flatten(src, "bag", "el")
+		f2 := p.Flatten(f1, "el.inner", "iv")
+		p.SetSink(p.Select(f2, Column("id", "id"), Column("j", "el.j"), Column("iv", "iv")))
+		return p
+	}
+	vec, row := runBoth(t, build, rows, 2, Options{Workers: 1})
+	if vec[0] != row[0] {
+		t.Errorf("results diverge:\nvec: %s\nrow: %s", head(vec[0]), head(row[0]))
+	}
+	if vec[1] != row[1] {
+		t.Errorf("capture streams diverge:\nvec: %s\nrow: %s", head(vec[1]), head(row[1]))
+	}
+}
+
+// TestBatchPoolsDoNotAliasResults proves the sync.Pool recycling never lets
+// a later run's batches overwrite values an earlier result still references:
+// the first result is rendered, several further pipelines churn the pools,
+// and the first result must render identically afterwards.
+func TestBatchPoolsDoNotAliasResults(t *testing.T) {
+	values := genRows(5, batchSize+19)
+	inputs := map[string]*Dataset{"in": dataset(t, "in", values, 2)}
+	res := runPipeline(t, boundaryPipeline(), inputs, Options{Partitions: 2, Workers: 1})
+	before := make([]string, 0, len(res.Output.Rows()))
+	for _, r := range res.Output.Rows() {
+		before = append(before, fmt.Sprintf("%d:%s", r.ID, r.Value))
+	}
+	for i := 0; i < 4; i++ {
+		churn := map[string]*Dataset{"in": dataset(t, "in", genRows(int64(100+i), batchSize+7), 2)}
+		runPipeline(t, boundaryPipeline(), churn, Options{Partitions: 2, Workers: 2})
+	}
+	for i, r := range res.Output.Rows() {
+		if got := fmt.Sprintf("%d:%s", r.ID, r.Value); got != before[i] {
+			t.Fatalf("row %d mutated by pool recycling:\nbefore %s\nafter  %s", i, before[i], got)
+		}
+	}
+}
+
+// TestVectorSharedPoolsRace drives the vectorized path with the full worker
+// fan-out over the shared batch/scratch pools, including two engines running
+// concurrently in one process. The -race run of the suite is the assertion.
+func TestVectorSharedPoolsRace(t *testing.T) {
+	values := genRows(11, 4*batchSize+13)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inputs := map[string]*Dataset{"in": NewDataset("in", values, DefaultPartitions, NewIDGen(1000))}
+			sink := newRecordingSink()
+			if _, err := Run(boundaryPipeline(), inputs, Options{
+				Partitions: DefaultPartitions, Workers: runtime.NumCPU(), Sink: sink,
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func head(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

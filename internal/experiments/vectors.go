@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// VectorRow is one scenario of the vectorization sweep: the same pipeline
+// executed row-at-a-time and as columnar batches, plain and under eager
+// structural capture, with the byte-identity cross-check the executors owe
+// each other.
+type VectorRow struct {
+	Scenario string `json:"scenario"`
+	SimGB    int    `json:"sim_gb"`
+	// Plain execution (no capture sink attached).
+	VecPlain     time.Duration `json:"vec_plain_ns"`
+	RowPlain     time.Duration `json:"row_plain_ns"`
+	PlainSpeedup float64       `json:"row_over_vec_plain"`
+	// Eager structural capture.
+	VecCapture     time.Duration `json:"vec_capture_ns"`
+	RowCapture     time.Duration `json:"row_capture_ns"`
+	CaptureSpeedup float64       `json:"row_over_vec_capture"`
+	// Capture overhead relative to the same executor's plain run.
+	VecOverheadPct float64 `json:"vec_capture_overhead_pct"`
+	RowOverheadPct float64 `json:"row_capture_overhead_pct"`
+	// Identical asserts the acceptance contract: result rows and the
+	// serialized v2 provenance stream agree byte for byte across executors.
+	Identical bool `json:"identical_results"`
+}
+
+// VectorSweep measures the vectorized vs row executor for every scenario of
+// Tab. 7, plain and under capture. The executor pairs are interleaved per
+// round and estimated by the per-round minimum (measurePairMin) — the twins
+// differ by single-digit percents, which median-of-single-shots cannot
+// resolve on a noisy shared machine — and each scenario's runs share one
+// generated input.
+func VectorSweep(cfg Config, sweep Sweep) ([]VectorRow, error) {
+	cfg = cfg.withDefaults()
+	gb := 10
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	var rows []VectorRow
+	for _, sc := range workload.AllScenarios() {
+		row, err := vectorScenario(cfg, sc, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func vectorScenario(cfg Config, sc workload.Scenario, scale workload.Scale) (VectorRow, error) {
+	inputs := sc.Input(scale, cfg.Partitions)
+	vecOpts := cfg.options()
+	rowOpts := vecOpts
+	rowOpts.RowExecution = true
+	row := VectorRow{Scenario: sc.Name, SimGB: scale.SimGB}
+
+	plain := func(opts engine.Options) func() error {
+		return func() error {
+			_, err := engine.Run(sc.Build(), inputs, opts)
+			return err
+		}
+	}
+	capture := func(opts engine.Options) func() error {
+		return func() error {
+			_, _, err := provenance.Capture(sc.Build(), inputs, opts)
+			return err
+		}
+	}
+
+	// Two temporally separated passes per pair, keeping each side's minimum:
+	// a background-load window long enough to swallow every round of one
+	// pass (seconds on a busy shared box) still cannot bias the ratio
+	// unless it also covers the second pass minutes of work later.
+	for pass := 0; pass < 2; pass++ {
+		vp, rp, err := measurePairMin(cfg, plain(vecOpts), plain(rowOpts))
+		if err != nil {
+			return VectorRow{}, err
+		}
+		vc, rc, err := measurePairMin(cfg, capture(vecOpts), capture(rowOpts))
+		if err != nil {
+			return VectorRow{}, err
+		}
+		if pass == 0 || vp < row.VecPlain {
+			row.VecPlain = vp
+		}
+		if pass == 0 || rp < row.RowPlain {
+			row.RowPlain = rp
+		}
+		if pass == 0 || vc < row.VecCapture {
+			row.VecCapture = vc
+		}
+		if pass == 0 || rc < row.RowCapture {
+			row.RowCapture = rc
+		}
+	}
+	if row.VecPlain > 0 {
+		row.PlainSpeedup = float64(row.RowPlain) / float64(row.VecPlain)
+		row.VecOverheadPct = 100 * (float64(row.VecCapture)/float64(row.VecPlain) - 1)
+	}
+	if row.RowPlain > 0 {
+		row.CaptureSpeedup = float64(row.RowCapture) / float64(row.VecCapture)
+		row.RowOverheadPct = 100 * (float64(row.RowCapture)/float64(row.RowPlain) - 1)
+	}
+
+	// Byte-identity cross-check: one capture per executor, compared on
+	// result rows (ids and values) and the serialized provenance stream.
+	render := func(opts engine.Options) (string, []byte, error) {
+		res, run, err := provenance.Capture(sc.Build(), inputs, opts)
+		if err != nil {
+			return "", nil, err
+		}
+		var sb strings.Builder
+		for _, r := range res.Output.Rows() {
+			fmt.Fprintf(&sb, "%d:%s\n", r.ID, r.Value)
+		}
+		var stream bytes.Buffer
+		if _, err := run.WriteTo(&stream); err != nil {
+			return "", nil, err
+		}
+		return sb.String(), stream.Bytes(), nil
+	}
+	vecRows, vecStream, err := render(vecOpts)
+	if err != nil {
+		return VectorRow{}, err
+	}
+	rowRows, rowStream, err := render(rowOpts)
+	if err != nil {
+		return VectorRow{}, err
+	}
+	row.Identical = vecRows == rowRows && bytes.Equal(vecStream, rowStream)
+	return row, nil
+}
+
+// RenderVectors renders the vectorization sweep.
+func RenderVectors(title string, rows []VectorRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %10s %10s %8s %10s %10s %8s %9s %9s %5s\n",
+		title, "S", "vec", "row", "speedup", "vec+cap", "row+cap", "speedup", "vec-ovh", "row-ovh", "ident")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %10s %10s %7.2fx %10s %10s %7.2fx %8.1f%% %8.1f%% %5v\n",
+			r.Scenario, fmtDur(r.VecPlain), fmtDur(r.RowPlain), r.PlainSpeedup,
+			fmtDur(r.VecCapture), fmtDur(r.RowCapture), r.CaptureSpeedup,
+			r.VecOverheadPct, r.RowOverheadPct, r.Identical)
+	}
+	return sb.String()
+}

@@ -127,6 +127,36 @@ func (s *shard) Agg(inIDs []int64, outID int64) {
 	s.agg = append(s.agg, aggAssoc{ins: inIDs, out: outID})
 }
 
+// SourceRows implements engine.PartitionSink: the bulk id-range form of
+// SourceRow. The slices are borrowed; every id is copied out.
+func (s *shard) SourceRows(base int64, origIDs []int64) {
+	for i := range origIDs {
+		s.source = append(s.source, base+int64(i))
+	}
+}
+
+// UnaryRange implements engine.PartitionSink.
+func (s *shard) UnaryRange(inIDs []int64, base int64) {
+	for i, in := range inIDs {
+		s.unary = append(s.unary, unaryAssoc{in: in, out: base + int64(i)})
+	}
+}
+
+// BinaryRange implements engine.PartitionSink.
+func (s *shard) BinaryRange(leftIDs, rightIDs []int64, base int64) {
+	for i := range leftIDs {
+		s.binary = append(s.binary, binaryAssoc{left: leftIDs[i], right: rightIDs[i], out: base + int64(i)})
+	}
+}
+
+// FlattenRange implements engine.PartitionSink; positions are dropped like
+// Flatten drops them.
+func (s *shard) FlattenRange(inIDs []int64, positions []int, base int64) {
+	for i, in := range inIDs {
+		s.unary = append(s.unary, unaryAssoc{in: in, out: base + int64(i)})
+	}
+}
+
 // Finish merges the shards into an immutable Run; the collector is reusable
 // afterwards. Operators are ordered by id so the run is independent of the
 // engine's physical schedule.

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"pebble/internal/engine"
+	"pebble/internal/lineage"
+	"pebble/internal/provenance"
+)
+
+// This file implements the executor twin of the differential oracle (PR 7):
+// the vectorized (columnar batch) executor and the legacy row-at-a-time
+// executor must be observationally indistinguishable. compareExecPaths is
+// the corpus-level check CheckSpec applies per worker count; CheckExecPath
+// is the exported pipeline-level entry the workload-scenario tests and
+// external harnesses drive directly.
+
+// compareExecPaths requires the row-executor artifacts to match the
+// vectorized artifacts byte for byte: result rows (ids and values),
+// serialized v2 provenance stream, and the lineage and lazy trace
+// fingerprints.
+func compareExecPaths(vec, row *artifacts, seed int64, workers int) *Disagreement {
+	fail := func(detail string) *Disagreement {
+		return &Disagreement{Kind: KindExecPath, Detail: detail, Workers: workers, Seed: seed}
+	}
+	if diff := firstDiff(vec.rows, row.rows); diff != "" {
+		return fail("row executor changed the result: " + diff)
+	}
+	if !bytes.Equal(vec.provBytes, row.provBytes) {
+		return fail(fmt.Sprintf("row executor changed the serialized provenance (%d vs %d bytes)",
+			len(row.provBytes), len(vec.provBytes)))
+	}
+	if vec.lineageFP != row.lineageFP {
+		return fail("row executor changed the lineage trace fingerprint")
+	}
+	if vec.lazyFP != row.lazyFP {
+		return fail("row executor changed the lazy trace fingerprint")
+	}
+	return nil
+}
+
+// CheckExecPath runs one pipeline under both executors for every configured
+// worker count and returns the first divergence in result rows or serialized
+// provenance, or nil when the executors agree everywhere. build must return
+// a fresh equivalent pipeline on every call (plans are single-use); the
+// same inputs are shared by all runs. Scenario-level tests drive the ten
+// workload pipelines through this entry, complementing the corpus specs
+// CheckSpec covers.
+func CheckExecPath(build func() *engine.Pipeline, inputs map[string]*engine.Dataset, cfg Config) *Disagreement {
+	cfg = cfg.withDefaults()
+	fail := func(kind, detail string, workers int) *Disagreement {
+		return &Disagreement{Kind: kind, Detail: detail, Workers: workers}
+	}
+	for _, w := range cfg.Workers {
+		var twin [2]struct {
+			rows      []string
+			provBytes []byte
+			lineageFP string
+		}
+		for i, rowExec := range []bool{false, true} {
+			opts := engine.Options{Partitions: cfg.Partitions, Workers: w, RowExecution: rowExec}
+			res, run, err := provenance.Capture(build(), inputs, opts)
+			if err != nil {
+				return fail(KindRun, fmt.Sprintf("rowExec=%v: %v", rowExec, err), w)
+			}
+			twin[i].rows = rowStrings(res.Output)
+			var buf bytes.Buffer
+			if _, err := run.WriteTo(&buf); err != nil {
+				return fail(KindRun, "serialize provenance: "+err.Error(), w)
+			}
+			twin[i].provBytes = buf.Bytes()
+			linPipe := build()
+			resLin, lrun, err := lineage.Capture(linPipe, inputs, opts)
+			if err != nil {
+				return fail(KindRun, fmt.Sprintf("rowExec=%v lineage: %v", rowExec, err), w)
+			}
+			outIDs := make([]int64, 0, len(resLin.Output.Rows()))
+			for _, r := range resLin.Output.Rows() {
+				outIDs = append(outIDs, r.ID)
+			}
+			by, err := lrun.Trace(linPipe.Sink().ID(), outIDs)
+			if err != nil {
+				return fail(KindRun, "lineage trace: "+err.Error(), w)
+			}
+			twin[i].lineageFP = fmtIDMap(by)
+		}
+		vec, row := twin[0], twin[1]
+		if diff := firstDiff(vec.rows, row.rows); diff != "" {
+			return fail(KindExecPath, "row executor changed the result: "+diff, w)
+		}
+		if !bytes.Equal(vec.provBytes, row.provBytes) {
+			return fail(KindExecPath, fmt.Sprintf("row executor changed the serialized provenance (%d vs %d bytes)",
+				len(row.provBytes), len(vec.provBytes)), w)
+		}
+		if vec.lineageFP != row.lineageFP {
+			return fail(KindExecPath, "row executor changed the lineage trace fingerprint", w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package oracle
+
+import (
+	"testing"
+
+	"pebble/internal/workload"
+)
+
+// TestExecPathScenarios drives all ten workload scenarios (Tab. 7) through
+// the exported executor-twin check: vectorized vs row execution must agree
+// on result rows, serialized provenance bytes, and lineage fingerprints for
+// Workers {1, 2, NumCPU}. The DBLP scenarios put ~500 rows per partition
+// through the engine, so every morsel crosses the 256-row batch boundary.
+func TestExecPathScenarios(t *testing.T) {
+	scale := workload.DefaultScale(1)
+	cfg := testConfig()
+	for _, sc := range workload.AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			if testing.Short() && sc.Dataset == "dblp" {
+				t.Skip("short mode: twitter scenarios cover the executor twin")
+			}
+			inputs := sc.Input(scale, cfg.Partitions)
+			if d := CheckExecPath(sc.Build, inputs, cfg); d != nil {
+				t.Fatalf("executor divergence: %v", d)
+			}
+		})
+	}
+}

@@ -118,6 +118,15 @@ func (d *droppingPartition) Unary(inID, outID int64) {
 	d.PartitionSink.Unary(inID, outID)
 }
 
+// UnaryRange must intercept the vectorized bulk form too — embedding would
+// otherwise forward the whole range unfiltered and the injected fault would
+// silently vanish under the columnar executor.
+func (d *droppingPartition) UnaryRange(inIDs []int64, base int64) {
+	for i, in := range inIDs {
+		d.Unary(in, base+int64(i))
+	}
+}
+
 // TestInjectedFaultIsCaughtAndShrunk proves the oracle end to end: dropping
 // associations in the eager collector must be detected as a disagreement
 // with lineage, and the shrinker must reduce the failing pipeline to at

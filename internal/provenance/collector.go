@@ -72,6 +72,40 @@ func (s *shard) Agg(inIDs []int64, outID int64) {
 	s.agg = append(s.agg, AggAssoc{Ins: inIDs, Out: outID})
 }
 
+// The bulk id-range appends below are the vectorized executor's morsel-level
+// emission (one call per partition instead of one per row). The range
+// slices are borrowed scratch — the loops copy every id into the shard's
+// own arrays, so the rows land exactly as the equivalent per-row calls
+// would, in the same order.
+
+// SourceRows implements engine.PartitionSink.
+func (s *shard) SourceRows(base int64, origIDs []int64) {
+	for i, orig := range origIDs {
+		s.source = append(s.source, SourceAssoc{ID: base + int64(i), OrigID: orig})
+	}
+}
+
+// UnaryRange implements engine.PartitionSink.
+func (s *shard) UnaryRange(inIDs []int64, base int64) {
+	for i, in := range inIDs {
+		s.unary = append(s.unary, UnaryAssoc{In: in, Out: base + int64(i)})
+	}
+}
+
+// BinaryRange implements engine.PartitionSink.
+func (s *shard) BinaryRange(leftIDs, rightIDs []int64, base int64) {
+	for i := range leftIDs {
+		s.binary = append(s.binary, BinaryAssoc{Left: leftIDs[i], Right: rightIDs[i], Out: base + int64(i)})
+	}
+}
+
+// FlattenRange implements engine.PartitionSink.
+func (s *shard) FlattenRange(inIDs []int64, positions []int, base int64) {
+	for i := range inIDs {
+		s.flatten = append(s.flatten, FlattenAssoc{In: inIDs[i], Pos: positions[i], Out: base + int64(i)})
+	}
+}
+
 // NewCollector returns an empty collector ready to be passed as
 // engine.Options.Sink.
 func NewCollector() *Collector {
