@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench bench-overhead bench-codec bench-query bench-vectors breakdown scaling soak pebblevet
+.PHONY: build test check bench bench-overhead bench-codec bench-query bench-vectors breakdown scaling soak pebblevet pebblevet-fix-list
 
 build:
 	go build ./...
@@ -11,10 +11,18 @@ test:
 	go test ./...
 
 # The project's own static-analysis suite (determinism, capturesound,
-# lockcheck, codecerr — see DESIGN.md). Built once into bin/ so `go vet
-# -vettool` and CI can reuse it.
+# lockcheck, codecerr, poolescape, rangecapture, hotalloc, plus the
+# staleignore directive audit — see DESIGN.md §6 and §11). Builds the
+# vettool into bin/ and runs it repo-wide; a clean exit is part of the gate.
 pebblevet:
 	go build -o bin/pebblevet ./cmd/pebblevet
+	go vet -vettool=bin/pebblevet ./...
+
+# The same run collapsed to unique file:line sites — paste-ready for working
+# through findings one location at a time.
+pebblevet-fix-list:
+	@go build -o bin/pebblevet ./cmd/pebblevet
+	@go vet -vettool=bin/pebblevet ./... 2>&1 | sed -n 's/^\(.*\.go:[0-9]*\):.*/\1/p' | sort -u
 
 check: pebblevet
 	sh scripts/check.sh

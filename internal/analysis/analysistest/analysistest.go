@@ -49,6 +49,14 @@ func TestData() string {
 // and reports expectation mismatches through t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunAll(t, dir, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunAll analyzes each fixture package with a set of analyzers in one driver
+// run. Whole-run diagnostics (the staleignore pseudo-analyzer) only exist in
+// this shape: staleness is decided after every real analyzer has reported.
+func RunAll(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	l := &loader{
 		srcRoot: filepath.Join(dir, "src"),
 		fset:    token.NewFileSet(),
@@ -62,9 +70,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			continue
 		}
 		unit := &analysis.Unit{Fset: l.fset, Files: lp.files, Pkg: lp.pkg, Info: lp.info}
-		findings, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		findings, err := analysis.RunAnalyzers(unit, analyzers)
 		if err != nil {
-			t.Errorf("running %s on %s: %v", a.Name, pkg, err)
+			t.Errorf("running analyzers on %s: %v", pkg, err)
 			continue
 		}
 		checkExpectations(t, l.fset, lp.files, findings)

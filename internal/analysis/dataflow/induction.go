@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LoopBody returns the body block of a for or range statement, or nil.
+func LoopBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+// MonotoneInLoop reports whether variable v is monotone-or-invariant across
+// iterations of loop (a *ast.ForStmt or *ast.RangeStmt): every write to v
+// lexically inside the loop (body + post statement) is either `v++` or
+// `v += c` with a non-negative constant c. A variable with no writes inside
+// the loop is invariant, which also satisfies the contract. Writes through
+// pointers or closures are not modelled (documented unsoundness).
+func MonotoneInLoop(v *types.Var, loop ast.Stmt, info *types.Info) bool {
+	var region ast.Node
+	switch s := loop.(type) {
+	case *ast.ForStmt:
+		region = s
+	case *ast.RangeStmt:
+		// The range clause itself redefines key/value each iteration in an
+		// unordered-for-maps way; a range variable is not monotone.
+		if idOf(s.Key, info) == v || idOf(s.Value, info) == v {
+			return false
+		}
+		region = s
+	default:
+		return false
+	}
+
+	ok := true
+	ast.Inspect(region, func(x ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.IncDecStmt:
+			if idOf(s.X, info) == v && s.Tok == token.DEC {
+				ok = false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if idOf(lhs, info) != v {
+					continue
+				}
+				switch s.Tok {
+				case token.ADD_ASSIGN:
+					if !nonNegativeConst(s.Rhs[0], info) {
+						ok = false
+					}
+				case token.ASSIGN, token.DEFINE:
+					// v = v + c is monotone; anything else is not provably so.
+					if len(s.Rhs) != len(s.Lhs) || !isSelfAddConst(s.Rhs[i], v, info) {
+						ok = false
+					}
+				default:
+					ok = false
+				}
+			}
+		case *ast.RangeStmt:
+			if x != region && (idOf(s.Key, info) == v || idOf(s.Value, info) == v) {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// InvariantInLoop reports whether v has no writes lexically inside loop at
+// all — its value is fixed for the loop's duration (modulo pointer/closure
+// writes, not modelled).
+func InvariantInLoop(v *types.Var, loop ast.Stmt, info *types.Info) bool {
+	invariant := true
+	ast.Inspect(loop, func(x ast.Node) bool {
+		if !invariant {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.IncDecStmt:
+			if idOf(s.X, info) == v {
+				invariant = false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if idOf(lhs, info) == v {
+					invariant = false
+				}
+			}
+		case *ast.RangeStmt:
+			if idOf(s.Key, info) == v || idOf(s.Value, info) == v {
+				invariant = false
+			}
+		case *ast.UnaryExpr:
+			// &v: address taken inside the loop — assume arbitrary writes.
+			if s.Op == token.AND && idOf(s.X, info) == v {
+				invariant = false
+			}
+		}
+		return true
+	})
+	return invariant
+}
+
+func idOf(e ast.Expr, info *types.Info) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func nonNegativeConst(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v >= 0
+}
+
+// isSelfAddConst matches `v + c` / `c + v` with c a non-negative constant,
+// or plain `v` (a no-op rebind).
+func isSelfAddConst(e ast.Expr, v *types.Var, info *types.Info) bool {
+	e = ast.Unparen(e)
+	if idOf(e, info) == v {
+		return true
+	}
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return false
+	}
+	if idOf(ast.Unparen(be.X), info) == v && nonNegativeConst(be.Y, info) {
+		return true
+	}
+	if idOf(ast.Unparen(be.Y), info) == v && nonNegativeConst(be.X, info) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package dataflow
+
+import "go/ast"
+
+// OwnExprs returns the expressions evaluated at a statement's own CFG node —
+// for compound statements, only the header parts (init/condition/tag/range
+// operand), since the nested bodies have nodes of their own. Analyzers use
+// this to attribute expression evaluation to the right program point without
+// double-visiting nested statements.
+func OwnExprs(s ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		out = append(out, s.Rhs...)
+		out = append(out, s.Lhs...)
+	case *ast.ExprStmt:
+		out = append(out, s.X)
+	case *ast.ReturnStmt:
+		out = append(out, s.Results...)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			out = append(out, OwnExprs(s.Init)...)
+		}
+		out = append(out, s.Cond)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			out = append(out, OwnExprs(s.Init)...)
+		}
+		if s.Cond != nil {
+			out = append(out, s.Cond)
+		}
+	case *ast.RangeStmt:
+		out = append(out, s.X)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			out = append(out, OwnExprs(s.Init)...)
+		}
+		if s.Tag != nil {
+			out = append(out, s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			out = append(out, OwnExprs(s.Init)...)
+		}
+		out = append(out, OwnExprs(s.Assign)...)
+	case *ast.CaseClause:
+		out = append(out, s.List...)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			out = append(out, OwnExprs(s.Comm)...)
+		}
+	case *ast.SendStmt:
+		out = append(out, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		out = append(out, s.X)
+	case *ast.GoStmt:
+		out = append(out, s.Call)
+	case *ast.DeferStmt:
+		out = append(out, s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, OwnExprs(s.Stmt)...)
+	}
+	return out
+}
+
+// EnclosingLoops returns the for/range statements lexically enclosing pos
+// within body, outermost first. A FuncLit between a loop and pos breaks the
+// chain: the outer loop does not iterate the closure's statements directly.
+func EnclosingLoops(body *ast.BlockStmt, pos ast.Node) []ast.Stmt {
+	var loops []ast.Stmt
+	target := pos.Pos()
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > target || n.End() <= target {
+			return false // does not contain the target
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n != pos {
+				loops = append(loops, n)
+			}
+		case *ast.RangeStmt:
+			if n != pos {
+				loops = append(loops, n)
+			}
+		case *ast.FuncLit:
+			loops = loops[:0]
+		}
+		return true
+	})
+	return loops
+}

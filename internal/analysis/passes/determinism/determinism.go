@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"pebble/internal/analysis"
+	"pebble/internal/analysis/dataflow"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -226,6 +227,12 @@ func orderInsensitiveAssign(pass *analysis.Pass, st *ast.AssignStmt, collected m
 						}
 					}
 				}
+				// One interprocedural hop: a local helper called from the
+				// body can leak iteration order through its own writes even
+				// though the result lands in a per-iteration local.
+				if fd := localCallee(pass, call); fd != nil && helperOrderSensitive(pass, fd) {
+					return false
+				}
 			}
 			// Defining a fresh per-iteration local is harmless.
 			return st.Tok == token.DEFINE
@@ -294,6 +301,95 @@ func isSortCall(pass *analysis.Pass, fun ast.Expr) bool {
 		return strings.HasPrefix(strings.ToLower(fun.Sel.Name), "sort")
 	case *ast.Ident:
 		return strings.HasPrefix(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+// localCallee resolves a call to its *ast.FuncDecl when the callee is a
+// plain function declared in this package's files; nil otherwise (methods,
+// builtins, imported functions, function values).
+func localCallee(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncDecl {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == types.Object(fn) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// helperOrderSensitive is the one-hop interprocedural check (DESIGN.md §11):
+// a helper invoked once per map iteration makes the order observable when it
+// stores an argument-derived value by index into a slice parameter — slices
+// are shared across iterations, and colliding indices resolve by call order.
+// The dataflow engine's taint lattice tracks argument influence through the
+// helper's body; one hop only, helpers of helpers are not followed.
+func helperOrderSensitive(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return false
+	}
+	params := make(map[*types.Var]bool)
+	sliceParams := make(map[*types.Var]bool)
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			params[v] = true
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				sliceParams[v] = true
+			}
+		}
+	}
+	if len(sliceParams) == 0 {
+		return false
+	}
+	r := dataflow.NewReaching(fd, pass.TypesInfo)
+	taint := dataflow.NewTaint(r, dataflow.TaintConfig{
+		Source: func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			return ok && params[v]
+		},
+	})
+	for _, n := range r.Graph.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		as, ok := n.Stmt.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for i, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			base, ok := ast.Unparen(ix.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := pass.TypesInfo.Uses[base].(*types.Var)
+			if !ok || !sliceParams[v] {
+				continue
+			}
+			if taint.ExprTaintedAt(ix.Index, n) || (i < len(as.Rhs) && taint.ExprTaintedAt(as.Rhs[i], n)) {
+				return true
+			}
+		}
 	}
 	return false
 }

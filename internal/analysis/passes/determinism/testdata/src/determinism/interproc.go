@@ -1,0 +1,54 @@
+// One-hop interprocedural cases: the loop body parks the helper's result in
+// a per-iteration local, but the helper itself leaks iteration order by
+// writing an argument-derived value into a slice parameter.
+package determinism
+
+import "sort"
+
+// badHelperWrite: record stores v at a computed slot of the shared slice;
+// colliding slots resolve by call order, i.e. by map iteration order.
+func badHelperWrite(m map[int]int, dst []int) {
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		ok := record(dst, k, v)
+		if ok {
+			continue
+		}
+	}
+}
+
+func record(dst []int, k, v int) bool {
+	h := k % len(dst)
+	dst[h] = v
+	return true
+}
+
+// goodHelperPure: the helper only computes; the collect-then-sort idiom
+// still applies, so the range is clean.
+func goodHelperPure(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		kk := double(k)
+		ks = append(ks, kk)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func double(v int) int { return v * 2 }
+
+// goodHelperLocalWrite: the helper writes only into storage it allocated
+// itself — nothing shared across iterations, so order cannot leak.
+func goodHelperLocalWrite(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		s := scratchSum(v)
+		total += s
+	}
+	return total
+}
+
+func scratchSum(v int) int {
+	buf := make([]int, 4)
+	buf[0] = v
+	return buf[0]
+}

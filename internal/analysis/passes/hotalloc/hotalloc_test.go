@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	// The analyzer is scoped to the repo's engine package; point it at the
+	// fixture for the test.
+	def := hotalloc.Analyzer.Flags.Lookup("pkgs").DefValue
+	if err := hotalloc.Analyzer.Flags.Set("pkgs", "hotalloc"); err != nil {
+		t.Fatal(err)
+	}
+	defer hotalloc.Analyzer.Flags.Set("pkgs", def)
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hotalloc")
+}

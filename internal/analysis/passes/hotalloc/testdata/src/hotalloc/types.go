@@ -1,0 +1,18 @@
+package hotalloc
+
+// Row and pending mirror the engine's hot row shapes; their names are in the
+// analyzer's default -hottypes list, so ranging over []Row marks a hot loop.
+type Row struct {
+	ID    int64
+	Value int
+}
+
+type pending struct {
+	id int64
+}
+
+type boxer interface{ box() }
+
+type val int
+
+func (val) box() {}

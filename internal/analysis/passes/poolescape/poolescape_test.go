@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "poolescape")
+}

@@ -1,0 +1,12 @@
+package poolescape
+
+// buffer is the pooled object; next lets one pooled value own another.
+type buffer struct {
+	data []byte
+	next *buffer
+}
+
+// holder is a non-pooled container: storing a pooled value into it escapes.
+type holder struct {
+	buf *buffer
+}

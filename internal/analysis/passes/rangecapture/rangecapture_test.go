@@ -1,0 +1,12 @@
+package rangecapture_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/rangecapture"
+)
+
+func TestRangeCapture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rangecapture.Analyzer, "rangecapture")
+}

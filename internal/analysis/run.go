@@ -27,12 +27,18 @@ type Finding struct {
 // unit, filters diagnostics silenced by //pebblevet:ignore directives, and
 // returns the survivors sorted by position then analyzer name. An analyzer
 // returning an error aborts the run.
+//
+// When the StaleIgnore pseudo-analyzer is in the list, the driver appends
+// one finding per ignore directive that names an analyzer which ran here but
+// never had a diagnostic suppressed by it — staleness is a whole-run
+// property, so it is computed after every real analyzer has reported.
 func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Finding, error) {
 	if err := Validate(analyzers); err != nil {
 		return nil, err
 	}
 	results := make(map[*Analyzer]interface{})
 	ran := make(map[*Analyzer]bool)
+	sup := NewSuppressor(unit.Fset, unit.Files)
 	var findings []Finding
 
 	var exec func(a *Analyzer) error
@@ -58,7 +64,7 @@ func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Finding, error) {
 			TypesInfo: unit.Info,
 			ResultOf:  inputs,
 			Report: func(d Diagnostic) {
-				if Suppressed(unit.Fset, unit.Files, a.Name, d.Pos) {
+				if sup.Suppressed(a.Name, d.Pos) {
 					return
 				}
 				findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
@@ -71,9 +77,23 @@ func RunAnalyzers(unit *Unit, analyzers []*Analyzer) ([]Finding, error) {
 		results[a] = res
 		return nil
 	}
+	staleEnabled := false
 	for _, a := range analyzers {
+		if a == StaleIgnore {
+			staleEnabled = true
+			continue
+		}
 		if err := exec(a); err != nil {
 			return nil, err
+		}
+	}
+	if staleEnabled {
+		ranNames := make(map[string]bool, len(ran))
+		for a := range ran {
+			ranNames[a.Name] = true
+		}
+		for _, d := range sup.Stale(ranNames) {
+			findings = append(findings, Finding{Analyzer: StaleIgnore, Diagnostic: d})
 		}
 	}
 	sort.SliceStable(findings, func(i, j int) bool {

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pebble/internal/analysis"
+	"pebble/internal/analysis/analysistest"
+	"pebble/internal/analysis/passes/determinism"
+)
+
+// TestStaleIgnore drives a real analyzer and the staleignore pseudo-analyzer
+// in one run: a directive that suppresses a live determinism finding is
+// quiet, directives covering lines the analyzer says nothing about are
+// reported in both placements (standalone and trailing), and directives
+// naming analyzers outside the run are left alone.
+func TestStaleIgnore(t *testing.T) {
+	analysistest.RunAll(t, analysistest.TestData(),
+		[]*analysis.Analyzer{determinism.Analyzer, analysis.StaleIgnore}, "staleignore")
+}

@@ -1,0 +1,39 @@
+// Fixture for the staleignore pseudo-analyzer, driven together with the
+// determinism analyzer in one RunAll invocation. A want expectation for a
+// stale directive rides inside the directive comment itself: the directive
+// parser cuts the analyzer list at "--", and the expectation scanner matches
+// the trailing "// want" anywhere in the comment text.
+package staleignore
+
+// working: the trailing directive suppresses a real determinism finding on
+// its own line, so it has a hit and is not stale.
+func working(m map[string]string) string {
+	s := ""
+	for _, v := range m { //pebblevet:ignore determinism -- fixture: concat order accepted here
+		s += v
+	}
+	return s
+}
+
+// staleStandalone: the directive covers the line below it, where determinism
+// reports nothing.
+func staleStandalone() int {
+	x := 1
+	//pebblevet:ignore determinism -- fixture: nothing below ranges a map // want `stale //pebblevet:ignore determinism`
+	x++
+	return x
+}
+
+// staleTrailing: same staleness, trailing placement — the covered line is the
+// directive's own.
+func staleTrailing() int {
+	y := 2 //pebblevet:ignore determinism -- fixture: stale trailing directive // want `stale //pebblevet:ignore determinism`
+	return y
+}
+
+// notRun: a directive naming an analyzer that is not part of this driver run
+// is not reported — staleness is only decidable for analyzers that ran.
+func notRun() {
+	//pebblevet:ignore lockcheck -- lockcheck is not in this test's run
+	_ = 0
+}

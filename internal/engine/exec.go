@@ -766,7 +766,9 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 			build[kr.hash] = append(build[kr.hash], kr)
 		}
 		matched := make(map[int64]bool)
-		var out []pending
+		// Floor capacity: most joins emit about one row per probe row, and
+		// unmatched left rows reuse whatever headroom is left.
+		out := make([]pending, 0, len(rb[part]))
 		probe := make([]keyedRow, len(rb[part]))
 		copy(probe, rb[part])
 		sort.Slice(probe, func(i, j int) bool { return probe[i].seq < probe[j].seq })
@@ -787,7 +789,7 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 			// Unmatched left rows survive with null right attributes; rows
 			// whose key is null never reached this bucket, so they are
 			// handled below per left partition — here only keyed rows.
-			unmatched := make([]keyedRow, 0)
+			unmatched := make([]keyedRow, 0, len(lb[part]))
 			for _, kr := range lb[part] {
 				if !matched[kr.row.ID] {
 					unmatched = append(unmatched, kr)
@@ -826,7 +828,7 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 				if err != nil {
 					return err
 				}
-				out = append(out, pending{value: item, in1: r.ID, in2: -1})
+				out = append(out, pending{value: item, in1: r.ID, in2: -1}) //pebblevet:ignore hotalloc -- null-key rows are rare; pre-sizing to the partition length would waste the common case
 			}
 			nullParts[part] = out
 			return nil
@@ -895,7 +897,8 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 	probeKeyOps := EvalOps(probeKey)
 	parts := make([][]pending, len(probeDS.Partitions))
 	err := e.forEachPartition(len(probeDS.Partitions), func(part int) error {
-		var out []pending
+		// Floor capacity: most joins emit about one row per probe row.
+		out := make([]pending, 0, len(probeDS.Partitions[part]))
 		probeHashed := 0
 		// The probe side's keys are evaluated column-wise under the
 		// vectorized executor; probing itself stays row-ordered.
@@ -988,9 +991,9 @@ func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 				}
 			}
 			if g == nil {
-				g = &group{key: kr.key}
+				g = &group{key: kr.key} //pebblevet:ignore hotalloc -- one allocation per distinct group, not per row
 				groups[h] = append(groups[h], g)
-				order = append(order, g)
+				order = append(order, g) //pebblevet:ignore hotalloc -- grows once per distinct group; group count is data-dependent
 			}
 			g.rows = append(g.rows, kr)
 		}

@@ -31,7 +31,7 @@ func (e *executor) filterMorsel(o *Op, rows []Row) ([]pending, error) {
 }
 
 func filterMorselRow(o *Op, rows []Row) ([]pending, error) {
-	var out []pending
+	out := make([]pending, 0, len(rows))
 	for _, r := range rows {
 		v, err := o.pred.Eval(r.Value)
 		if err != nil {
@@ -215,7 +215,8 @@ func (e *executor) flattenMorsel(o *Op, rows []Row) ([]pending, error) {
 }
 
 func flattenMorselRow(o *Op, rows []Row) ([]pending, error) {
-	var out []pending
+	// Floor capacity: flatten usually emits at least one row per input row.
+	out := make([]pending, 0, len(rows))
 	for _, r := range rows {
 		col, ok := o.flattenCol.Eval(r.Value)
 		if !ok || col.IsNull() {
@@ -233,7 +234,8 @@ func flattenMorselRow(o *Op, rows []Row) ([]pending, error) {
 }
 
 func flattenMorselVec(o *Op, rows []Row) ([]pending, bool) {
-	var out []pending
+	// Floor capacity; the per-chunk pre-growth below extends it exactly.
+	out := make([]pending, 0, len(rows))
 	for start := 0; start < len(rows); start += batchSize {
 		chunk := rows[start:minInt(start+batchSize, len(rows))]
 		b := getBatch(chunk)
@@ -324,8 +326,12 @@ func evalKeysVec(k shuffleKey, rows []Row) ([]nested.Value, bool) {
 	}
 	if k.expr == nil {
 		keys := make([]nested.Value, len(rows))
+		// One flat backing array for every row's field slice; each row gets a
+		// distinct full-capacity subslice because nested.Item retains it.
+		width := len(k.groupBy)
+		flat := make([]nested.Field, len(rows)*width)
 		for i, r := range rows {
-			fields := make([]nested.Field, len(k.groupBy))
+			fields := flat[i*width : (i+1)*width : (i+1)*width]
 			for gi, g := range k.groupBy {
 				fields[gi] = nested.F(g.Name, evalColDirect(g.Path, r.Value))
 			}
@@ -366,8 +372,11 @@ func (e *executor) sortKeysMorsel(sortKeys []Expr, rows []Row) ([][]nested.Value
 		}
 	}
 	keys := make([][]nested.Value, len(rows))
+	// One flat backing array; each row keeps a distinct full-cap subslice.
+	width := len(sortKeys)
+	flat := make([]nested.Value, len(rows)*width)
 	for i, r := range rows {
-		ks := make([]nested.Value, len(sortKeys))
+		ks := flat[i*width : (i+1)*width : (i+1)*width]
 		for j, k := range sortKeys {
 			v, err := k.Eval(r.Value)
 			if err != nil {
@@ -391,10 +400,13 @@ func sortKeysVec(sortKeys []Expr, rows []Row) ([][]nested.Value, bool) {
 			break
 		}
 	}
+	width := len(sortKeys)
+	keys := make([][]nested.Value, len(rows))
+	// One flat backing array; each row keeps a distinct full-cap subslice.
+	flat := make([]nested.Value, len(rows)*width)
 	if allCols {
-		keys := make([][]nested.Value, len(rows))
 		for i, r := range rows {
-			ks := make([]nested.Value, len(sortKeys))
+			ks := flat[i*width : (i+1)*width : (i+1)*width]
 			for j, k := range sortKeys {
 				ks[j] = evalColDirect(k.(colExpr).p, r.Value)
 			}
@@ -402,7 +414,6 @@ func sortKeysVec(sortKeys []Expr, rows []Row) ([][]nested.Value, bool) {
 		}
 		return keys, true
 	}
-	keys := make([][]nested.Value, len(rows))
 	for start := 0; start < len(rows); start += batchSize {
 		chunk := rows[start:minInt(start+batchSize, len(rows))]
 		b := getBatch(chunk)
@@ -416,7 +427,7 @@ func sortKeysVec(sortKeys []Expr, rows []Row) ([][]nested.Value, bool) {
 			cols[j] = c
 		}
 		for i := range chunk {
-			ks := make([]nested.Value, len(sortKeys))
+			ks := flat[(start+i)*width : (start+i+1)*width : (start+i+1)*width]
 			for j := range sortKeys {
 				ks[j] = cols[j].at(i)
 			}

@@ -38,9 +38,9 @@ func (e *executor) execDistinct(o *Op) (*Dataset, error) {
 				}
 			}
 			if found == nil {
-				found = &entry{value: kr.row.Value, seq: kr.seq}
+				found = &entry{value: kr.row.Value, seq: kr.seq} //pebblevet:ignore hotalloc -- one allocation per distinct value, not per row
 				byHash[h] = append(byHash[h], found)
-				order = append(order, found)
+				order = append(order, found) //pebblevet:ignore hotalloc -- grows once per distinct value; distinct count is data-dependent
 			}
 			if kr.seq < found.seq {
 				found.seq = kr.seq
