@@ -2,7 +2,7 @@
 # the pebblevet analyzers), formatting, and the full suite under the race
 # detector.
 
-.PHONY: build test check bench bench-overhead bench-codec bench-query bench-vectors breakdown scaling soak pebblevet pebblevet-fix-list
+.PHONY: build test check serve-smoke bench bench-overhead bench-codec bench-query bench-vectors breakdown scaling soak pebblevet pebblevet-fix-list
 
 build:
 	go build ./...
@@ -26,6 +26,16 @@ pebblevet-fix-list:
 
 check: pebblevet
 	sh scripts/check.sh
+
+# Daemon smoke gate (blocking in CI): boot pebbled on an ephemeral port,
+# drive a scenario end-to-end through the pkg/sdk client — capture, event
+# stream, provenance download, remote trace — and require the daemon's
+# provenance bytes and trace report to be identical to a direct library
+# execution (see cmd/pebbled and DESIGN.md §12). One twitter and one dblp
+# scenario cover both input shapes.
+serve-smoke:
+	go run ./cmd/pebbled -smoke T3
+	go run ./cmd/pebbled -smoke D1
 
 bench:
 	go test -bench . -benchtime 1x ./...

@@ -2,6 +2,7 @@ package pebble_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -151,7 +152,11 @@ func TestProvenancePersistenceShims(t *testing.T) {
 	row := cap.Result.Output.Rows()[0]
 	b := pebble.NewStructure()
 	b.Add(row.ID, pebble.TreeFromValue(row.Value))
-	traced, err := pebble.Trace(run, cap.Pipeline.Sink().ID(), b)
+	sink, ok := run.OpByID(pebble.OpID(cap.Pipeline.Sink().ID()))
+	if !ok {
+		t.Fatalf("sink operator %d missing from reloaded run", cap.Pipeline.Sink().ID())
+	}
+	traced, err := pebble.TraceFrom(run, sink, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,8 +262,8 @@ func TestNewSessionCoversEverySessionField(t *testing.T) {
 	}
 }
 
-// TestTraceFromAndOpByID covers the typed query-side entry points plus the
-// deprecated Trace wrapper against the same reloaded run.
+// TestTraceFromAndOpByID covers the typed query-side entry points — plus
+// the context-aware TraceFromContext variant against the same reloaded run.
 func TestTraceFromAndOpByID(t *testing.T) {
 	inputs := map[string]*pebble.Dataset{
 		"tweets.json": pebble.NewDataset("tweets.json", tab1(), 2),
@@ -290,20 +295,28 @@ func TestTraceFromAndOpByID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deprecated, err := pebble.Trace(run, int(sinkID), b)
+	ctxTraced, err := pebble.TraceFromContext(context.Background(), run, op, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(typed.ContributingIDs()) == 0 ||
-		len(typed.ContributingIDs()) != len(deprecated.ContributingIDs()) {
-		t.Errorf("typed trace found %d ids, deprecated %d",
-			len(typed.ContributingIDs()), len(deprecated.ContributingIDs()))
+		len(typed.ContributingIDs()) != len(ctxTraced.ContributingIDs()) {
+		t.Errorf("typed trace found %d ids, context variant %d",
+			len(typed.ContributingIDs()), len(ctxTraced.ContributingIDs()))
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pebble.TraceFromContext(cancelled, run, op, b); err == nil {
+		t.Error("TraceFromContext with cancelled context should fail")
 	}
 	if _, ok := run.OpByID(9999); ok {
 		t.Error("OpByID(9999) resolved a phantom operator")
 	}
 	if _, err := pebble.TraceFrom(run, nil, b); err == nil {
 		t.Error("TraceFrom(nil op) should fail")
+	}
+	if _, err := pebble.TraceFromContext(context.Background(), run, nil, b); err == nil {
+		t.Error("TraceFromContext(nil op) should fail")
 	}
 }
 

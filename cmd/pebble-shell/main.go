@@ -6,6 +6,13 @@
 // Usage:
 //
 //	pebble-shell [-scenario T3] [-gb 1] [-partitions 4] [-optimize]
+//	pebble-shell -remote http://127.0.0.1:7077 [-session shell] [-job j1]
+//
+// With -remote the shell attaches to a running pebbled daemon instead of
+// executing locally: questions become asynchronous trace jobs against a
+// completed pipeline job's persisted provenance. If -job is empty the shell
+// submits the scenario as a remote pipeline job first (creating the session
+// when needed) and then explores its capture.
 //
 // Example session:
 //
@@ -16,16 +23,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"pebble/internal/core"
 	"pebble/internal/engine"
 	"pebble/internal/obs"
 	"pebble/internal/shell"
 	"pebble/internal/workload"
+	"pebble/pkg/sdk"
 )
 
 func main() {
@@ -35,7 +45,17 @@ func main() {
 	recordsPerGB := flag.Int("records-per-gb", 2000, "DBLP records per simulated GB")
 	partitions := flag.Int("partitions", 4, "engine partitions")
 	optimize := flag.Bool("optimize", false, "optimize the plan before running")
+	remote := flag.String("remote", "", "pebbled base URL; attach to a daemon instead of running locally")
+	sessionName := flag.String("session", "shell", "daemon session name (remote mode)")
+	jobID := flag.String("job", "", "completed pipeline job to explore (remote mode; empty = submit -scenario)")
 	flag.Parse()
+
+	if *remote != "" {
+		if err := runRemote(*remote, *sessionName, *jobID, *scenario, *gb); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sc, err := workload.ByName(*scenario)
 	if err != nil {
@@ -65,4 +85,39 @@ func main() {
 	if err := shell.New(cap, os.Stdout).Run(os.Stdin); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runRemote attaches the shell to a pebbled daemon: ensure the session
+// exists, ensure there is a completed pipeline job to trace against
+// (submitting the scenario when none was named), then hand off to the
+// remote REPL.
+func runRemote(base, session, jobID, scenario string, gb int) error {
+	c := sdk.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	if _, err := c.GetSession(ctx, session); err != nil {
+		if _, err := c.CreateSession(ctx, sdk.SessionSpec{Name: session}); err != nil {
+			return fmt.Errorf("create session %q: %w", session, err)
+		}
+	}
+	if jobID == "" {
+		fmt.Printf("submitting %s (%d simulated GB) to %s as session %q...\n", scenario, gb, base, session)
+		j, err := c.SubmitJob(ctx, session, sdk.SubmitJobRequest{
+			Kind: sdk.KindPipeline, Scenario: scenario, SimGB: gb,
+		})
+		if err != nil {
+			return fmt.Errorf("submit pipeline: %w", err)
+		}
+		info, err := c.WaitJob(ctx, session, j.ID)
+		if err != nil {
+			return fmt.Errorf("wait pipeline: %w", err)
+		}
+		if info.Status != sdk.StatusDone {
+			return fmt.Errorf("pipeline job %s: %s (%s)", j.ID, info.Status, info.Error)
+		}
+		fmt.Printf("job %s done: %d result rows, %d provenance bytes\n", j.ID, info.ResultRows, info.ProvBytes)
+		jobID = j.ID
+	}
+	return shell.NewRemote(c, session, jobID, os.Stdout).Run(os.Stdin)
 }

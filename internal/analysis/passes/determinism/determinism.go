@@ -38,6 +38,16 @@ functions inside the identifier/provenance-producing packages.`,
 // leak into identifiers, provenance, or generated datasets.
 var idPkgs string
 
+// exemptPkgs subtracts from idPkgs: import paths (plus their subpackages)
+// where wall-clock use is an explicit part of the contract and never reaches
+// provenance bytes. The service layer is the canonical case — pebbled stamps
+// job Created/Started/Finished times and Retry-After hints, and the SDK
+// polls on wall-clock intervals, while the deterministic capture path those
+// jobs run stays inside the idPkgs scope. Listing them here keeps the
+// exemption decision in one reviewable place even if idpkgs is later
+// broadened to a prefix that would cover them.
+var exemptPkgs string
+
 func init() {
 	Analyzer.Flags.StringVar(&idPkgs, "idpkgs", strings.Join([]string{
 		"pebble/internal/engine",
@@ -50,6 +60,10 @@ func init() {
 		"pebble/internal/workload",
 		"pebble/internal/usage",
 	}, ","), "comma-separated import paths (with subpackages) subject to the time.Now/math.rand checks")
+	Analyzer.Flags.StringVar(&exemptPkgs, "exemptpkgs", strings.Join([]string{
+		"pebble/internal/server",
+		"pebble/pkg/sdk",
+	}, ","), "comma-separated import paths (with subpackages) exempt from the time.Now/math.rand checks even when matched by -idpkgs: packages whose wall-clock use is part of their contract (job timestamps, retry hints) and never enters provenance")
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -80,7 +94,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 func inScope(pkgPath string) bool {
-	for _, entry := range strings.Split(idPkgs, ",") {
+	return !matchesList(pkgPath, exemptPkgs) && matchesList(pkgPath, idPkgs)
+}
+
+// matchesList reports whether pkgPath equals an entry of the comma-separated
+// list or lives under one as a subpackage.
+func matchesList(pkgPath, list string) bool {
+	for _, entry := range strings.Split(list, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue

@@ -17,3 +17,23 @@ func TestDeterminism(t *testing.T) {
 	defer determinism.Analyzer.Flags.Set("idpkgs", def)
 	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "determinism")
 }
+
+// TestExemptPkgs pins the -exemptpkgs carve-out: a package matched by
+// -idpkgs but listed in -exemptpkgs gets no clock/rand diagnostics (the
+// service layer's job timestamps and retry jitter are contractual), while
+// the map-iteration checks still apply there unchanged.
+func TestExemptPkgs(t *testing.T) {
+	idDef := determinism.Analyzer.Flags.Lookup("idpkgs").DefValue
+	exDef := determinism.Analyzer.Flags.Lookup("exemptpkgs").DefValue
+	if err := determinism.Analyzer.Flags.Set("idpkgs", "determinism,exempt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := determinism.Analyzer.Flags.Set("exemptpkgs", "exempt"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		determinism.Analyzer.Flags.Set("idpkgs", idDef)
+		determinism.Analyzer.Flags.Set("exemptpkgs", exDef)
+	}()
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "exempt")
+}

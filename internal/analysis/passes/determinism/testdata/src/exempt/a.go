@@ -1,0 +1,32 @@
+// Package exempt models a service-layer package: it sits under the idpkgs
+// prefix for this test run but is listed in -exemptpkgs, so its wall-clock
+// and global-rand use must produce no diagnostics. Map-iteration checks are
+// NOT scoped by the exemption and still apply.
+package exempt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is the legitimate service-layer shape: wall-clock timestamps on job
+// metadata that never reach provenance bytes.
+func Stamp() time.Time {
+	return time.Now() // exempt: no diagnostic expected
+}
+
+// Jitter draws from the global source; allowed here because retry jitter is
+// not identifier material.
+func Jitter() int {
+	return rand.Intn(10) // exempt: no diagnostic expected
+}
+
+// Leak shows the exemption is surgical: map iteration order is still checked
+// everywhere, including exempt packages.
+func Leak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map keys/values are collected here but never sorted in Leak`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,6 +1,7 @@
 package backtrace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -176,8 +177,19 @@ func NewTracer(run *provenance.Run) *Tracer {
 
 // Trace runs one provenance query (Alg. 1) against the captured run.
 func (t *Tracer) Trace(startOID int, b *Structure) (*Result, error) {
+	return t.TraceContext(context.Background(), startOID, b)
+}
+
+// TraceContext is Trace with cooperative cancellation: the context is
+// checked at every operator step of the backtracing walk (a walk visits each
+// pipeline operator at most a handful of times), so a cancelled provenance
+// query stops before building further association indexes.
+func (t *Tracer) TraceContext(ctx context.Context, startOID int, b *Structure) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer t.rec.StartSpan(obs.SpanBacktrace)()
-	q := &tracer{t: t, run: t.run, out: &Result{BySource: make(map[int]*Structure)}}
+	q := &tracer{t: t, ctx: ctx, run: t.run, out: &Result{BySource: make(map[int]*Structure)}}
 	if err := q.trace(startOID, b); err != nil {
 		return nil, err
 	}
@@ -380,11 +392,15 @@ func buildAgg(a []provenance.AggAssoc) pairIdx {
 // tracer is the per-query state.
 type tracer struct {
 	t   *Tracer
+	ctx context.Context
 	run *provenance.Run
 	out *Result
 }
 
 func (tr *tracer) trace(oid int, b *Structure) error {
+	if err := tr.ctx.Err(); err != nil {
+		return err
+	}
 	if b.Len() == 0 {
 		return nil
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -82,28 +83,36 @@ func NewSession(opts ...Option) Session {
 	return s
 }
 
-func (s Session) options() engine.Options {
-	parts := s.Partitions
-	if parts < 1 {
-		parts = engine.DefaultPartitions
+// ResolvePartitions is the single partition-precedence rule of the system:
+// an explicit positive count wins, then the session's positive Partitions,
+// then the engine default. Every partition decision — Session.options,
+// Session.NewDataset, pebble.NewDataset — routes through it, so a session
+// and the datasets built for it can never disagree regardless of which
+// other options (WithSequential, WithWorkers, …) the session was built
+// with. Pinned by TestPartitionPrecedence.
+func (s Session) ResolvePartitions(explicit int) int {
+	if explicit > 0 {
+		return explicit
 	}
-	return engine.Options{Partitions: parts, Workers: s.Workers, Sequential: s.Sequential, Recorder: s.Recorder, RowExecution: s.RowExecution}
+	if s.Partitions > 0 {
+		return s.Partitions
+	}
+	return engine.DefaultPartitions
+}
+
+func (s Session) options() engine.Options {
+	return engine.Options{Partitions: s.ResolvePartitions(0), Workers: s.Workers, Sequential: s.Sequential, Recorder: s.Recorder, RowExecution: s.RowExecution}
 }
 
 // NewDataset partitions values into the session's logical partition count,
 // assigning each row a unique provenance identifier. parts <= 0 inherits
 // Session.Partitions (which itself defaults to engine.DefaultPartitions);
-// an explicit positive parts overrides the session. Datasets and sessions
+// an explicit positive parts overrides the session (precedence: explicit >
+// session > engine default, see ResolvePartitions). Datasets and sessions
 // must agree on the partition count for byte-identical reproducible runs,
 // so prefer this over hand-picking counts per dataset.
 func (s Session) NewDataset(name string, values []nested.Value, parts int) *engine.Dataset {
-	if parts <= 0 {
-		parts = s.Partitions
-	}
-	if parts <= 0 {
-		parts = engine.DefaultPartitions
-	}
-	return engine.NewDataset(name, values, parts, engine.NewIDGen(1))
+	return engine.NewDataset(name, values, s.ResolvePartitions(parts), engine.NewIDGen(1))
 }
 
 // Captured is a pipeline execution with its structural provenance, ready for
@@ -153,11 +162,33 @@ func (c *Captured) AttachProvenance(run *provenance.Run, tr *backtrace.Tracer) {
 // index-install phases into it.
 func (c *Captured) Recorder() *obs.Recorder { return c.rec }
 
+// Reattached assembles a query-capable Captured from reloaded pieces — the
+// daemon/service reload path: the pipeline and execution result of the
+// original run, a provenance run reloaded from persisted bytes, and
+// optionally a tracer prepared over that run (e.g. with sidecar indexes
+// installed). rec, when non-nil, observes every query on the capture, same
+// as a session recorder would.
+func Reattached(p *engine.Pipeline, res *engine.Result, run *provenance.Run, tr *backtrace.Tracer, rec *obs.Recorder) *Captured {
+	c := &Captured{Pipeline: p, Result: res, Provenance: run, rec: rec}
+	if tr != nil {
+		c.tracer = tr.Observe(rec)
+	}
+	return c
+}
+
 // Stats returns the observability snapshot for this capture. With a session
-// recorder attached it is the full per-operator counter and span report;
-// without one a reduced view is synthesised from the engine's per-operator
-// row counts and timings plus the provenance footprint, so Stats never
-// returns nil.
+// recorder attached it is the full per-operator counter and span report —
+// every counter of the obs taxonomy plus the phase spans, accumulated across
+// every run and query the recorder observed.
+//
+// Without a recorder, Stats synthesises a reduced fallback view from what
+// the engine and collector retain anyway, so it never returns nil. The
+// fallback covers exactly rows_out (from the engine's per-operator row
+// counts), assoc_rows, and prov_bytes (from the captured run), plus
+// per-operator elapsed times; rows_in, expr_evals, keys_hashed, enc_bytes,
+// and all spans read as zero, and the view is per-capture rather than
+// session-cumulative. Callers needing the full taxonomy must attach a
+// recorder (pebble.WithRecorder) before running.
 func (c *Captured) Stats() *obs.Stats {
 	if c.rec != nil {
 		return c.rec.Snapshot()
@@ -178,12 +209,20 @@ func (c *Captured) Stats() *obs.Stats {
 }
 
 // Run executes the pipeline without provenance capture (plain Spark
-// semantics, the baseline bars of Figs. 6 and 7).
+// semantics, the baseline bars of Figs. 6 and 7). It is RunContext with a
+// background context.
 func (s Session) Run(p *engine.Pipeline, inputs map[string]*engine.Dataset) (*engine.Result, error) {
+	return s.RunContext(context.Background(), p, inputs)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks the
+// context at every morsel boundary, so cancelling ctx stops the run from
+// scheduling new work promptly (see engine.RunContext).
+func (s Session) RunContext(ctx context.Context, p *engine.Pipeline, inputs map[string]*engine.Dataset) (*engine.Result, error) {
 	if err := s.maybeAnalyze(p, inputs); err != nil {
 		return nil, err
 	}
-	return engine.Run(p, inputs, s.options())
+	return engine.RunContext(ctx, p, inputs, s.options())
 }
 
 func (s Session) maybeAnalyze(p *engine.Pipeline, inputs map[string]*engine.Dataset) error {
@@ -194,12 +233,21 @@ func (s Session) maybeAnalyze(p *engine.Pipeline, inputs map[string]*engine.Data
 	return err
 }
 
-// Capture executes the pipeline with structural provenance capture.
+// Capture executes the pipeline with structural provenance capture. It is
+// CaptureContext with a background context.
 func (s Session) Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset) (*Captured, error) {
+	return s.CaptureContext(context.Background(), p, inputs)
+}
+
+// CaptureContext is Capture with cooperative cancellation: the engine checks
+// the context at every morsel boundary, so a cancelled capture stops
+// scheduling new morsels promptly and discards its partial provenance. This
+// is the execution entry point pebbled's async jobs run through.
+func (s Session) CaptureContext(ctx context.Context, p *engine.Pipeline, inputs map[string]*engine.Dataset) (*Captured, error) {
 	if err := s.maybeAnalyze(p, inputs); err != nil {
 		return nil, err
 	}
-	res, run, err := provenance.Capture(p, inputs, s.options())
+	res, run, err := provenance.CaptureContext(ctx, p, inputs, s.options())
 	if err != nil {
 		return nil, err
 	}
@@ -240,10 +288,18 @@ func (c *Captured) QueryStructure(b *backtrace.Structure) (*QueryResult, error) 
 // intermediate operator answers "which inputs fed *this* stage" instead of
 // the sink's full result.
 func (c *Captured) TraceAt(op *provenance.Operator, b *backtrace.Structure) (*QueryResult, error) {
+	return c.TraceAtContext(context.Background(), op, b)
+}
+
+// TraceAtContext is TraceAt with cooperative cancellation: the context is
+// checked at every operator step of the backtracing walk, so a cancelled
+// query (e.g. a pebbled trace job whose submitter went away) stops before
+// building further association indexes.
+func (c *Captured) TraceAtContext(ctx context.Context, op *provenance.Operator, b *backtrace.Structure) (*QueryResult, error) {
 	if op == nil {
 		return nil, fmt.Errorf("core: TraceAt on nil operator")
 	}
-	traced, err := c.Tracer().Trace(op.OID, b)
+	traced, err := c.Tracer().TraceContext(ctx, op.OID, b)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -95,8 +96,19 @@ func (r *Result) TotalElapsed() time.Duration {
 // Run executes the pipeline over the named input datasets and returns the
 // sink's output. Each source operator annotates its input with fresh
 // top-level identifiers (so a dataset read twice is annotated twice, as in
-// the paper's scenario T3).
+// the paper's scenario T3). Run never cancels; it is RunContext with a
+// background context.
 func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error) {
+	return RunContext(context.Background(), p, inputs, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the scheduler checks
+// ctx.Err() at every morsel boundary (before each logical partition of each
+// operator) and before launching DAG operators, so a cancelled context stops
+// scheduling new work promptly without interrupting a morsel mid-flight.
+// The partial execution's datasets and identifiers are discarded; the error
+// wraps ctx.Err(). A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,8 +126,11 @@ func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error)
 	if gen == nil {
 		gen = NewIDGen(1)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer opts.Recorder.StartSpan(obs.SpanSchedule)()
-	ex := &executor{opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset, len(p.Ops()))}
+	ex := &executor{ctx: ctx, opts: opts, gen: gen, inputs: inputs, outputs: make(map[int]*Dataset, len(p.Ops()))}
 	res := &Result{Sources: make(map[int]*Dataset)}
 	if opts.KeepIntermediates {
 		res.Intermediates = make(map[int]*Dataset)
@@ -139,6 +154,9 @@ func Run(p *Pipeline, inputs map[string]*Dataset, opts Options) (*Result, error)
 }
 
 type executor struct {
+	// ctx carries cooperative cancellation; checked at morsel boundaries
+	// (never nil — RunContext substitutes context.Background).
+	ctx    context.Context
 	opts   Options
 	gen    *IDGen
 	inputs map[string]*Dataset

@@ -82,16 +82,27 @@ func (p *workerPool) forEach(n int, f func(i int) error) error {
 // Under the vectorized executor each morsel internally chunks its rows into
 // column batches (batch.go) drawn from pools shared across all workers;
 // the morsel is still the unit of scheduling and of capture-sink handles.
+//
+// This is the engine's cancellation checkpoint: a morsel only starts while
+// the executor's context is live, so a cancelled job stops scheduling new
+// morsels here (in-flight morsels run to completion — they are small by
+// construction).
 func (e *executor) forEachPartition(n int, f func(part int) error) error {
+	g := func(part int) error {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		return f(part)
+	}
 	if e.pool == nil || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := g(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return e.pool.forEach(n, f)
+	return e.pool.forEach(n, g)
 }
 
 // reserveGate orders IDGen reservations by operator id (= plan order).
@@ -159,6 +170,9 @@ func (g *reserveGate) abort() {
 // reproduce byte for byte.
 func (e *executor) runSequential(p *Pipeline, res *Result) error {
 	for i, o := range p.Ops() {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("engine: operator %s: %w", o, err)
+		}
 		//pebblevet:ignore determinism -- per-op wall-clock stats; never enters results or identifiers
 		start := time.Now()
 		out, err := e.exec(o)
@@ -201,7 +215,11 @@ func (e *executor) runDAG(p *Pipeline, res *Result) error {
 		go func() {
 			//pebblevet:ignore determinism -- per-op wall-clock stats; never enters results or identifiers
 			start := time.Now()
-			out, err := o.execBy(e)
+			var out *Dataset
+			err := e.ctx.Err()
+			if err == nil {
+				out, err = o.execBy(e)
+			}
 			done <- opDone{o: o, out: out, elapsed: time.Since(start), err: err}
 		}()
 	}

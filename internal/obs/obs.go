@@ -141,6 +141,28 @@ type spanCell struct {
 	count atomic.Int64
 }
 
+// Event is one observability happening, pushed synchronously to the
+// recorder's Tap as it occurs: a phase span opening or closing, or an
+// operator announcing itself before execution. Events exist for live
+// progress reporting (pebbled streams them to job watchers); the counter
+// and span totals remain the source of truth for measurements.
+type Event struct {
+	// Kind is "span_start", "span_end", or "op".
+	Kind string
+	// Span is the phase name for span events ("" for op events).
+	Span string
+	// OID and Type identify the operator for op events.
+	OID  int
+	Type string
+	// Elapsed is the span duration; set on span_end only.
+	Elapsed time.Duration
+}
+
+// Tap receives events synchronously from the recording goroutine. A tap
+// must be fast and must not call back into the recorder; fan-out and
+// buffering are the tap's job (see internal/server's job event log).
+type Tap func(Event)
+
 // Recorder collects execution metrics. The zero value is not usable — use
 // NewRecorder. A nil *Recorder is valid on every method and does nothing.
 //
@@ -153,6 +175,28 @@ type Recorder struct {
 	mu    sync.RWMutex
 	ops   map[int]*opRec // guarded by mu
 	spans [NumSpans]spanCell
+
+	// tap, when set, receives an Event for every span start/end and
+	// operator registration. Stored atomically so the hot paths pay one
+	// load; SetTap before sharing the recorder with a run.
+	tap atomic.Value // of Tap
+}
+
+// SetTap installs the event tap (nil clears it). Install before the run
+// starts; events already in flight may or may not reach a tap swapped
+// mid-run.
+func (r *Recorder) SetTap(tap Tap) {
+	if r == nil {
+		return
+	}
+	r.tap.Store(tap)
+}
+
+// emit pushes an event to the tap, if any.
+func (r *Recorder) emit(ev Event) {
+	if t, ok := r.tap.Load().(Tap); ok && t != nil {
+		t(ev)
+	}
 }
 
 // NewRecorder returns an empty recorder.
@@ -170,6 +214,7 @@ func (r *Recorder) StartOp(oid int, typ string, parts int) {
 		return
 	}
 	r.ensure(oid, typ, parts)
+	r.emit(Event{Kind: "op", OID: oid, Type: typ})
 }
 
 func (r *Recorder) ensure(oid int, typ string, parts int) *opRec {
@@ -242,11 +287,14 @@ func (r *Recorder) StartSpan(s Span) func() {
 	if r == nil {
 		return func() {}
 	}
+	r.emit(Event{Kind: "span_start", Span: s.String()})
 	start := time.Now()
 	return func() {
+		elapsed := time.Since(start)
 		cell := &r.spans[s]
-		cell.ns.Add(time.Since(start).Nanoseconds())
+		cell.ns.Add(elapsed.Nanoseconds())
 		cell.count.Add(1)
+		r.emit(Event{Kind: "span_end", Span: s.String(), Elapsed: elapsed})
 	}
 }
 

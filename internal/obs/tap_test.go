@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTapReceivesSpanAndOpEvents pins the event-tap contract: every span
+// start/end and operator registration reaches the tap, in order per
+// goroutine, with the elapsed duration only on span_end.
+func TestTapReceivesSpanAndOpEvents(t *testing.T) {
+	rec := NewRecorder()
+	var mu sync.Mutex
+	var got []Event
+	rec.SetTap(func(ev Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+
+	rec.StartOp(3, "filter", 2)
+	stop := rec.StartSpan(SpanSchedule)
+	stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(got), got)
+	}
+	if got[0].Kind != "op" || got[0].OID != 3 || got[0].Type != "filter" {
+		t.Errorf("op event = %+v", got[0])
+	}
+	if got[1].Kind != "span_start" || got[1].Span != "schedule" || got[1].Elapsed != 0 {
+		t.Errorf("span_start event = %+v", got[1])
+	}
+	if got[2].Kind != "span_end" || got[2].Span != "schedule" || got[2].Elapsed <= 0 {
+		t.Errorf("span_end event = %+v", got[2])
+	}
+}
+
+// TestTapNilSafety: a nil recorder ignores SetTap; clearing the tap stops
+// delivery; recording without a tap works.
+func TestTapNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.SetTap(func(Event) { t.Error("tap on nil recorder fired") })
+	nilRec.StartOp(1, "x", 1)
+
+	rec := NewRecorder()
+	rec.StartOp(1, "filter", 1) // no tap: must not panic
+	n := 0
+	rec.SetTap(func(Event) { n++ })
+	rec.StartOp(2, "select", 1)
+	rec.SetTap(nil)
+	rec.StartOp(3, "map", 1)
+	if n != 1 {
+		t.Errorf("tap fired %d times, want exactly 1 (after clear it must stop)", n)
+	}
+}

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -235,10 +236,17 @@ func (c *Collector) Finish() *Run {
 // When opts.Recorder is set, the collector reports its Finish span and
 // per-operator provenance footprints into it.
 func Capture(p *engine.Pipeline, inputs map[string]*engine.Dataset, opts engine.Options) (*engine.Result, *Run, error) {
+	return CaptureContext(context.Background(), p, inputs, opts)
+}
+
+// CaptureContext is Capture with cooperative cancellation: the context is
+// threaded to engine.RunContext, which checks it at morsel boundaries. A
+// cancelled capture returns ctx's error and discards the partial provenance.
+func CaptureContext(ctx context.Context, p *engine.Pipeline, inputs map[string]*engine.Dataset, opts engine.Options) (*engine.Result, *Run, error) {
 	c := NewCollector()
 	c.Observe(opts.Recorder)
 	opts.Sink = c
-	res, err := engine.Run(p, inputs, opts)
+	res, err := engine.RunContext(ctx, p, inputs, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"pebble/pkg/sdk"
+)
+
+// Admission-control errors.
+var (
+	// errQueueFull is the backpressure signal: the daemon's bounded queue
+	// is at capacity and the client must retry later (HTTP 429).
+	errQueueFull = errors.New("server: job queue full")
+	// errClosed rejects submissions during shutdown.
+	errClosed = errors.New("server: shutting down")
+)
+
+// queue is the daemon's admission control: a bounded global FIFO of queued
+// jobs drained by a fixed pool of runner goroutines, with a per-session cap
+// on concurrently running jobs. The cap is enforced at dispatch, not at
+// submission — a session may queue many jobs, but runners skip over a
+// session already at its cap and pick the oldest eligible job from another,
+// so one chatty session cannot starve the rest (FIFO-with-skip fairness).
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []*job
+	depth   int            // max queued jobs (backpressure bound)
+	cap     int            // max running jobs per session
+	running map[string]int // session name → running count
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newQueue(depth, perSessionCap int) *queue {
+	q := &queue{depth: depth, cap: perSessionCap, running: make(map[string]int)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// start launches n runner goroutines, each executing jobs via run.
+func (q *queue) start(n int, run func(*job)) {
+	for i := 0; i < n; i++ {
+		q.wg.Add(1)
+		go q.runner(run)
+	}
+}
+
+// submit enqueues a job, failing fast with errQueueFull at capacity.
+func (q *queue) submit(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed
+	}
+	if len(q.items) >= q.depth {
+		return errQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Broadcast()
+	return nil
+}
+
+// remove takes a still-queued job out of the queue (cancellation before
+// dispatch). Returns false when a runner already claimed it.
+func (q *queue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it == j {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// gauges reports the queued and running counts for /stats.
+func (q *queue) gauges() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	queued = len(q.items)
+	for _, n := range q.running {
+		running += n
+	}
+	return queued, running
+}
+
+// close stops admission, cancels every still-queued job, and waits for the
+// runners (in-flight jobs observe their cancelled contexts and unwind).
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	pending := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	for _, j := range pending {
+		j.cancel()
+		j.finish(sdk.StatusCancelled, "server shutting down")
+	}
+	q.wg.Wait()
+}
+
+// pickLocked pops the oldest job whose session is under its running cap.
+func (q *queue) pickLocked() *job {
+	for i, j := range q.items {
+		if q.running[j.sess.name] < q.cap {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+func (q *queue) runner(run func(*job)) {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		var j *job
+		for {
+			if q.closed && len(q.items) == 0 {
+				q.mu.Unlock()
+				return
+			}
+			if j = q.pickLocked(); j != nil {
+				break
+			}
+			q.cond.Wait()
+		}
+		q.running[j.sess.name]++
+		q.mu.Unlock()
+
+		run(j)
+
+		q.mu.Lock()
+		q.running[j.sess.name]--
+		// A finished job may unblock a same-session job that skip-fairness
+		// held back; wake the runners to re-scan.
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}

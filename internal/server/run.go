@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"pebble/internal/backtrace"
+	"pebble/internal/core"
+	"pebble/internal/corpus"
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/treepattern"
+	"pebble/internal/workload"
+	"pebble/pkg/sdk"
+)
+
+// runJob is the runner-pool entry point: it drives one job through its
+// terminal status and folds its metrics into the session aggregates.
+func (s *Server) runJob(j *job) {
+	if !j.start() {
+		// Finished before dispatch (shutdown drained the queue).
+		return
+	}
+	var err error
+	switch j.kind {
+	case sdk.KindPipeline:
+		err = s.runPipeline(j)
+	case sdk.KindTrace:
+		err = s.runTrace(j)
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.kind)
+	}
+	switch {
+	case err == nil:
+		j.finish(sdk.StatusDone, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(sdk.StatusCancelled, err.Error())
+	default:
+		j.finish(sdk.StatusFailed, err.Error())
+	}
+	j.sess.absorb(j)
+}
+
+// resolvePipeline turns a pipeline-job request into an executable plan and
+// its inputs. Scenario names resolve against the operator-registered
+// factories first, then the built-in paper scenarios; spec submissions are
+// corpus.Spec JSON whose source steps prefer the session's registered
+// datasets over the spec's inline rows.
+func (s *Server) resolvePipeline(j *job) (*engine.Pipeline, map[string]*engine.Dataset, error) {
+	parts := j.sess.base.ResolvePartitions(0)
+	if name := j.req.Scenario; name != "" {
+		if f, ok := s.cfg.Pipelines[name]; ok {
+			p, err := f.Build()
+			if err != nil {
+				return nil, nil, fmt.Errorf("build pipeline %q: %w", name, err)
+			}
+			inputs, err := f.Inputs(j.req.SimGB, parts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("inputs for %q: %w", name, err)
+			}
+			return p, inputs, nil
+		}
+		sc, err := workload.ByName(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("unknown pipeline %q (not a registered factory or paper scenario)", name)
+		}
+		simGB := j.req.SimGB
+		if simGB <= 0 {
+			simGB = 1
+		}
+		return sc.Build(), sc.Input(workload.DefaultScale(simGB), parts), nil
+	}
+	var spec corpus.Spec
+	if err := json.Unmarshal(j.req.Spec, &spec); err != nil {
+		return nil, nil, fmt.Errorf("decode pipeline spec: %w", err)
+	}
+	p, err := spec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs := spec.Inputs(parts)
+	for _, st := range spec.Steps {
+		if st.Op != corpus.StepSource {
+			continue
+		}
+		if ds, ok := j.sess.dataset(st.Dataset); ok {
+			inputs[st.Dataset] = ds
+		} else if _, inline := inputs[st.Dataset]; !inline {
+			return nil, nil, fmt.Errorf("source %q: dataset neither registered in session nor inline in spec", st.Dataset)
+		}
+	}
+	return p, inputs, nil
+}
+
+// runPipeline executes a pipeline job under the session configuration with
+// the job's recorder and context. Captured provenance is persisted as a
+// .pbl artifact plus a .idx index sidecar and then dropped from memory:
+// the execution result stays resident for pattern matching, the provenance
+// reloads lazily when a trace job needs it.
+func (s *Server) runPipeline(j *job) error {
+	p, inputs, err := s.resolvePipeline(j)
+	if err != nil {
+		return err
+	}
+	cfg := j.sess.exec(j.rec)
+	if j.req.Capture != nil && !*j.req.Capture {
+		res, err := cfg.RunContext(j.ctx, p, inputs)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.pipeline, j.result = p, res
+		j.mu.Unlock()
+		return nil
+	}
+	cap, err := cfg.CaptureContext(j.ctx, p, inputs)
+	if err != nil {
+		return err
+	}
+	provPath, idxPath, n, err := s.persistArtifacts(j, cap)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.pipeline, j.result = p, cap.Result
+	j.provPath, j.idxPath, j.provBytes = provPath, idxPath, n
+	j.mu.Unlock()
+	return nil
+}
+
+// persistArtifacts serializes the capture's provenance (.pbl) and its
+// association-index sidecar (.idx). The sidecar is keyed by the run's
+// content hash, which only byte-loaded runs carry, so the run round-trips
+// through its own serialized form before indexing — also re-verifying that
+// what was written decodes.
+func (s *Server) persistArtifacts(j *job, cap *core.Captured) (provPath, idxPath string, n int64, err error) {
+	provPath = s.artifactPath(j.sess, j, ".pbl")
+	idxPath = s.artifactPath(j.sess, j, ".idx")
+	cleanup := func() {
+		os.Remove(provPath) //nolint:errcheck // best-effort cleanup
+		os.Remove(idxPath)  //nolint:errcheck // best-effort cleanup
+	}
+	f, err := os.Create(provPath)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("create provenance artifact: %w", err)
+	}
+	n, werr := cap.Provenance.WriteToObserved(f, j.rec)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		cleanup()
+		return "", "", 0, fmt.Errorf("write provenance artifact: %w", errors.Join(werr, cerr))
+	}
+	data, err := os.ReadFile(provPath)
+	if err != nil {
+		cleanup()
+		return "", "", 0, fmt.Errorf("reload provenance artifact: %w", err)
+	}
+	run, err := provenance.ReadRunLazy(data)
+	if err != nil {
+		cleanup()
+		return "", "", 0, fmt.Errorf("verify provenance artifact: %w", err)
+	}
+	fi, err := os.Create(idxPath)
+	if err != nil {
+		cleanup()
+		return "", "", 0, fmt.Errorf("create index sidecar: %w", err)
+	}
+	_, werr = backtrace.NewTracer(run).WriteIndexes(fi)
+	cerr = fi.Close()
+	if werr != nil || cerr != nil {
+		cleanup()
+		return "", "", 0, fmt.Errorf("write index sidecar: %w", errors.Join(werr, cerr))
+	}
+	return provPath, idxPath, n, nil
+}
+
+// runTrace executes a trace job: it reloads the target pipeline job's
+// persisted provenance lazily, installs the index sidecar (falling back to
+// an in-memory rebuild if the sidecar is stale or damaged), builds the
+// backtracing structure from the requested pattern, and walks the
+// provenance back to the sources.
+func (s *Server) runTrace(j *job) error {
+	target, ok := j.sess.job(j.req.TargetJob)
+	if !ok {
+		return fmt.Errorf("target job %q not found", j.req.TargetJob)
+	}
+	tinfo := target.info()
+	if target.kind != sdk.KindPipeline || tinfo.Status != sdk.StatusDone {
+		return fmt.Errorf("target job %s is %s %s; need a done pipeline job", target.id, tinfo.Status, target.kind)
+	}
+	target.mu.Lock()
+	provPath, idxPath := target.provPath, target.idxPath
+	pipeline, result := target.pipeline, target.result
+	target.mu.Unlock()
+	if provPath == "" {
+		return fmt.Errorf("target job %s captured no provenance (capture=false)", target.id)
+	}
+	data, err := os.ReadFile(provPath)
+	if err != nil {
+		return fmt.Errorf("read provenance artifact: %w", err)
+	}
+	run, err := provenance.ReadRunLazyObserved(data, j.rec)
+	if err != nil {
+		return fmt.Errorf("load provenance artifact: %w", err)
+	}
+	tr := backtrace.NewTracer(run)
+	if idxData, rerr := os.ReadFile(idxPath); rerr == nil {
+		if lerr := tr.LoadIndexes(idxData); lerr != nil {
+			// Stale or corrupt sidecar: never wrong answers — rebuild.
+			j.event(sdk.JobEvent{Kind: "note", Message: fmt.Sprintf("index sidecar rejected (%v); rebuilding indexes", lerr)})
+		}
+	}
+	cap := core.Reattached(pipeline, result, run, tr, j.rec)
+
+	b, err := j.buildStructure(result)
+	if err != nil {
+		return err
+	}
+	startID := j.req.StartOp
+	if startID <= 0 {
+		startID = pipeline.Sink().ID()
+	}
+	op, ok := run.OpByID(provenance.OpID(startID))
+	if !ok {
+		return fmt.Errorf("operator %d not present in captured provenance", startID)
+	}
+	qr, err := cap.TraceAtContext(j.ctx, op, b)
+	if err != nil {
+		return err
+	}
+	js, err := qr.JSON()
+	if err != nil {
+		return fmt.Errorf("encode trace result: %w", err)
+	}
+	out := &sdk.TraceOutput{Matched: b.Len(), Report: qr.Report(), Result: js}
+	j.mu.Lock()
+	j.trace = out
+	j.mu.Unlock()
+	return nil
+}
+
+// buildStructure turns the trace request's question into a backtracing
+// structure over the target's result.
+func (j *job) buildStructure(result *engine.Result) (*backtrace.Structure, error) {
+	switch {
+	case j.req.TraceAll:
+		b := backtrace.NewStructure()
+		for _, row := range result.Output.Rows() {
+			b.Add(row.ID, core.TreeFromValue(row.Value))
+		}
+		return b, nil
+	case j.req.PatternText != "":
+		pat, err := treepattern.Parse(j.req.PatternText)
+		if err != nil {
+			return nil, fmt.Errorf("parse pattern: %w", err)
+		}
+		return pat.MatchObserved(result.Output, j.rec), nil
+	default:
+		pat := &treepattern.Pattern{}
+		if err := json.Unmarshal(j.req.Pattern, pat); err != nil {
+			return nil, fmt.Errorf("decode pattern: %w", err)
+		}
+		return pat.MatchObserved(result.Output, j.rec), nil
+	}
+}

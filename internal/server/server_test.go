@@ -1,0 +1,479 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pebble/internal/corpus"
+	"pebble/internal/engine"
+	"pebble/internal/nested"
+	"pebble/internal/server"
+	"pebble/pkg/sdk"
+)
+
+// startDaemon boots an in-process daemon over httptest and returns an SDK
+// client bound to it. Cleanup order matters: the server closes first (which
+// cancels and finishes every job, releasing event-stream watchers), then
+// the HTTP listener.
+func startDaemon(t *testing.T, cfg server.Config) *sdk.Client {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return sdk.New(ts.URL)
+}
+
+// gate coordinates tests with pipelines executing inside the daemon: the
+// pipeline's map operator reports entry (once per job, tagged) and then
+// blocks until the gate opens.
+type gate struct {
+	entered chan string
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGate() *gate {
+	return &gate{entered: make(chan string, 64), release: make(chan struct{})}
+}
+
+// open releases every blocked pipeline; safe to call repeatedly.
+func (g *gate) open() { g.once.Do(func() { close(g.release) }) }
+
+// await waits for one tagged pipeline to start executing.
+func (g *gate) await(t *testing.T) string {
+	t.Helper()
+	select {
+	case tag := <-g.entered:
+		return tag
+	case <-time.After(30 * time.Second):
+		t.Fatal("no pipeline entered the gate within 30s")
+		return ""
+	}
+}
+
+// gatedFactory registers a pipeline whose map blocks on the gate.
+func gatedFactory(g *gate, tag string, rows int) server.Factory {
+	return server.Factory{
+		Build: func() (*engine.Pipeline, error) {
+			p := engine.NewPipeline()
+			src := p.Source("in")
+			var once sync.Once
+			p.Map(src, engine.MapFunc{Name: "gate", Fn: func(v nested.Value) (nested.Value, error) {
+				once.Do(func() { g.entered <- tag })
+				<-g.release
+				return v, nil
+			}})
+			return p, nil
+		},
+		Inputs: func(_, partitions int) (map[string]*engine.Dataset, error) {
+			return map[string]*engine.Dataset{"in": intDataset(rows, partitions)}, nil
+		},
+	}
+}
+
+func intDataset(rows, partitions int) *engine.Dataset {
+	vals := make([]nested.Value, rows)
+	for i := range vals {
+		vals[i] = nested.Item(nested.F("n", nested.Int(int64(i))))
+	}
+	return engine.NewDataset("in", vals, partitions, engine.NewIDGen(1))
+}
+
+func mustSession(t *testing.T, c *sdk.Client, spec sdk.SessionSpec) {
+	t.Helper()
+	if _, err := c.CreateSession(context.Background(), spec); err != nil {
+		t.Fatalf("create session %q: %v", spec.Name, err)
+	}
+}
+
+func submit(t *testing.T, c *sdk.Client, sess string, req sdk.SubmitJobRequest) sdk.JobInfo {
+	t.Helper()
+	info, err := c.SubmitJob(context.Background(), sess, req)
+	if err != nil {
+		t.Fatalf("submit to %q: %v", sess, err)
+	}
+	return info
+}
+
+func waitStatus(t *testing.T, c *sdk.Client, sess, id, want string) sdk.JobInfo {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	info, err := c.WaitJob(ctx, sess, id)
+	if err != nil {
+		t.Fatalf("wait job %s/%s: %v", sess, id, err)
+	}
+	if info.Status != want {
+		t.Fatalf("job %s/%s finished %s (%s), want %s", sess, id, info.Status, info.Error, want)
+	}
+	return info
+}
+
+// TestCancelWhileQueued pins the queued→cancelled transition: with the
+// single runner occupied, a queued job cancelled before dispatch must go
+// terminal immediately, never start, and leave a queued→cancelled event
+// trail.
+func TestCancelWhileQueued(t *testing.T) {
+	g := newGate()
+	defer g.open()
+	c := startDaemon(t, server.Config{
+		Runners: 1, SessionCap: 1, QueueDepth: 8,
+		Pipelines: map[string]server.Factory{"block": gatedFactory(g, "b", 8)},
+	})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "s", Partitions: 4})
+
+	j1 := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	g.await(t) // runner is now provably inside j1
+
+	j2 := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	info, err := c.CancelJob(ctx, "s", j2.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if info.Status != sdk.StatusCancelled {
+		t.Errorf("cancel-while-queued returned status %s, want cancelled immediately", info.Status)
+	}
+	info = waitStatus(t, c, "s", j2.ID, sdk.StatusCancelled)
+	if info.Started != nil {
+		t.Errorf("cancelled-while-queued job has a start time %v; it must never have run", info.Started)
+	}
+
+	var events []sdk.JobEvent
+	if err := c.StreamEvents(ctx, "s", j2.ID, func(ev sdk.JobEvent) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream events: %v", err)
+	}
+	var statuses []string
+	for _, ev := range events {
+		if ev.Kind == "status" {
+			statuses = append(statuses, ev.Status)
+		}
+	}
+	if got := strings.Join(statuses, ","); got != "queued,cancelled" {
+		t.Errorf("status trail = %s, want queued,cancelled", got)
+	}
+
+	g.open()
+	waitStatus(t, c, "s", j1.ID, sdk.StatusDone)
+}
+
+// TestCancelMidRun pins that cancelling a running job really stops morsel
+// scheduling: the cancelled session's recorded rows_in (via /stats, backed
+// by the obs counters) stays strictly below an identical uncancelled run.
+func TestCancelMidRun(t *testing.T) {
+	g := newGate()
+	defer g.open()
+	const rows = 64
+	c := startDaemon(t, server.Config{
+		Runners: 1, SessionCap: 1, QueueDepth: 8,
+		Pipelines: map[string]server.Factory{"block": gatedFactory(g, "m", rows)},
+	})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "cut", Partitions: 16, Workers: 2})
+	mustSession(t, c, sdk.SessionSpec{Name: "full", Partitions: 16, Workers: 2})
+
+	j := submit(t, c, "cut", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	g.await(t) // first morsel provably executing
+	if _, err := c.CancelJob(ctx, "cut", j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	g.open() // let the in-flight morsels drain; no new ones may start
+	info := waitStatus(t, c, "cut", j.ID, sdk.StatusCancelled)
+	if !strings.Contains(info.Error, "context canceled") {
+		t.Errorf("cancelled job error = %q, want context cancellation surfaced", info.Error)
+	}
+
+	// Reference: same pipeline, gate already open, runs to completion.
+	ref := submit(t, c, "full", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	waitStatus(t, c, "full", ref.ID, sdk.StatusDone)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	rowsIn := map[string]int64{}
+	for _, ss := range stats.Sessions {
+		rowsIn[ss.Name] = ss.Counters["rows_in"]
+	}
+	if rowsIn["cut"] == 0 {
+		t.Error("cancelled run recorded no rows_in at all; gate never executed?")
+	}
+	if rowsIn["cut"] >= rowsIn["full"] {
+		t.Errorf("cancelled run consumed rows_in=%d, not below the full run's %d: cancellation did not stop morsel scheduling",
+			rowsIn["cut"], rowsIn["full"])
+	}
+	if stats.Jobs[sdk.StatusCancelled] != 1 || stats.Jobs[sdk.StatusDone] != 1 {
+		t.Errorf("server job tallies = %v, want 1 cancelled and 1 done", stats.Jobs)
+	}
+}
+
+// TestQueueFull429 pins admission control: with the runner blocked and the
+// queue at depth, a further submission is rejected with HTTP 429 and a
+// Retry-After hint, and the rejected job never runs.
+func TestQueueFull429(t *testing.T) {
+	g := newGate()
+	defer g.open()
+	c := startDaemon(t, server.Config{
+		Runners: 1, SessionCap: 1, QueueDepth: 1,
+		Pipelines: map[string]server.Factory{"block": gatedFactory(g, "q", 8)},
+	})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "s", Partitions: 4})
+
+	j1 := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	g.await(t)
+	j2 := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+
+	_, err := c.SubmitJob(ctx, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	ae, full := sdk.IsQueueFull(err)
+	if !full {
+		t.Fatalf("third submission: got err %v, want 429 queue-full", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Errorf("429 carried Retry-After %v, want a positive hint", ae.RetryAfter)
+	}
+
+	g.open()
+	waitStatus(t, c, "s", j1.ID, sdk.StatusDone)
+	waitStatus(t, c, "s", j2.ID, sdk.StatusDone)
+	jobs, err := c.ListJobs(ctx, "s")
+	if err != nil {
+		t.Fatalf("list jobs: %v", err)
+	}
+	// The rejected submission is recorded as failed, never queued/run.
+	var failed int
+	for _, ji := range jobs {
+		if ji.Status == sdk.StatusFailed {
+			failed++
+			if ji.Started != nil {
+				t.Errorf("rejected job %s has a start time; it must never run", ji.ID)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d failed jobs, want exactly the rejected one", failed)
+	}
+}
+
+// TestSessionCapFairness pins FIFO-with-skip dispatch: a session at its
+// running cap is skipped and the next session's older-than-nothing job runs
+// instead, so one chatty session cannot monopolise the runner pool.
+func TestSessionCapFairness(t *testing.T) {
+	g := newGate()
+	defer g.open()
+	c := startDaemon(t, server.Config{
+		Runners: 2, SessionCap: 1, QueueDepth: 8,
+		Pipelines: map[string]server.Factory{
+			"a1": gatedFactory(g, "a1", 8),
+			"a2": gatedFactory(g, "a2", 8),
+			"b1": gatedFactory(g, "b1", 8),
+		},
+	})
+	mustSession(t, c, sdk.SessionSpec{Name: "a", Partitions: 4})
+	mustSession(t, c, sdk.SessionSpec{Name: "b", Partitions: 4})
+
+	// Session a submits twice before b submits once. Despite strict FIFO
+	// order a1,a2,b1, the two runners must pick a1 and b1 — a2 is held by
+	// the session cap.
+	ja1 := submit(t, c, "a", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "a1"})
+	ja2 := submit(t, c, "a", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "a2"})
+	jb1 := submit(t, c, "b", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "b1"})
+
+	running := map[string]bool{g.await(t): true}
+	running[g.await(t)] = true
+	if !running["a1"] || !running["b1"] {
+		t.Fatalf("running set = %v, want {a1, b1}: the session cap must skip a2 in favour of b1", running)
+	}
+	info, err := c.GetJob(context.Background(), "a", ja2.ID)
+	if err != nil {
+		t.Fatalf("get a2: %v", err)
+	}
+	if info.Status != sdk.StatusQueued {
+		t.Errorf("a2 status = %s, want still queued while a1 runs (cap 1)", info.Status)
+	}
+
+	g.open()
+	waitStatus(t, c, "a", ja1.ID, sdk.StatusDone)
+	waitStatus(t, c, "a", ja2.ID, sdk.StatusDone)
+	waitStatus(t, c, "b", jb1.ID, sdk.StatusDone)
+}
+
+// TestEventStreamShape pins the live progress contract on a real scenario
+// job: status queued→running→done in order, operator registrations, and
+// phase spans (schedule, collector_finish) fed from the obs tap.
+func TestEventStreamShape(t *testing.T) {
+	c := startDaemon(t, server.Config{})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "s"})
+	j := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "T3", SimGB: 1})
+
+	var events []sdk.JobEvent
+	if err := c.StreamEvents(ctx, "s", j.ID, func(ev sdk.JobEvent) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	var statuses []string
+	phases := map[string]bool{}
+	ops := 0
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: stream must be gapless and ordered", i, ev.Seq)
+		}
+		switch ev.Kind {
+		case "status":
+			statuses = append(statuses, ev.Status)
+		case "phase_end":
+			phases[ev.Span] = true
+			if ev.ElapsedMS < 0 {
+				t.Errorf("phase_end %s with negative elapsed %v", ev.Span, ev.ElapsedMS)
+			}
+		case "op":
+			ops++
+		}
+	}
+	if got := strings.Join(statuses, ","); got != "queued,running,done" {
+		t.Errorf("status trail = %s, want queued,running,done", got)
+	}
+	if !phases["schedule"] || !phases["collector_finish"] {
+		t.Errorf("phases seen = %v, want schedule and collector_finish from the obs tap", phases)
+	}
+	if ops == 0 {
+		t.Error("no operator registration events streamed")
+	}
+}
+
+// TestSpecJobOverUploadedDataset drives the declarative path: upload a
+// dataset as JSON lines, run a corpus.Spec pipeline whose source resolves
+// against it, and trace the full result back through the daemon.
+func TestSpecJobOverUploadedDataset(t *testing.T) {
+	c := startDaemon(t, server.Config{})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "s", Partitions: 4})
+
+	lines := strings.NewReader(`{"n": 1}` + "\n" + `{"n": 3}` + "\n" + `{"n": 5}` + "\n" + `{"n": 7}` + "\n" + `{"n": 9}` + "\n")
+	ds, err := c.UploadDataset(ctx, "s", "mydata", 0, lines)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if ds.Rows != 5 || ds.Partitions != 4 {
+		t.Errorf("dataset = %+v, want 5 rows in 4 partitions (session inheritance)", ds)
+	}
+	// Duplicate registration must be refused, not silently replaced.
+	if _, err := c.UploadDataset(ctx, "s", "mydata", 0, strings.NewReader(`{"n": 0}`+"\n")); err == nil {
+		t.Error("duplicate dataset upload accepted; want conflict")
+	}
+
+	spec := corpus.Spec{
+		Steps: []corpus.Step{
+			{Op: corpus.StepSource, In: -1, In2: -1, Dataset: "mydata"},
+			{Op: corpus.StepFilter, In: 0, In2: -1, Pred: &corpus.Pred{Col: "n", Op: "gt", Int: 2}},
+		},
+		Sink: 1,
+	}
+	specJSON, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Spec: specJSON})
+	info := waitStatus(t, c, "s", j.ID, sdk.StatusDone)
+	if info.ResultRows != 4 {
+		t.Errorf("result rows = %d, want 4 (n in {3,5,7,9})", info.ResultRows)
+	}
+	if info.ProvBytes <= 0 {
+		t.Errorf("prov bytes = %d, want a persisted artifact", info.ProvBytes)
+	}
+
+	tj := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindTrace, TargetJob: j.ID, TraceAll: true})
+	waitStatus(t, c, "s", tj.ID, sdk.StatusDone)
+	out, err := c.TraceResult(ctx, "s", tj.ID)
+	if err != nil {
+		t.Fatalf("trace result: %v", err)
+	}
+	if out.Matched != 4 {
+		t.Errorf("trace matched %d items, want 4", out.Matched)
+	}
+	if !strings.Contains(out.Report, "source operator") {
+		t.Errorf("trace report carries no source section:\n%s", out.Report)
+	}
+	var decoded struct {
+		Matched int `json:"matched"`
+		Sources []struct {
+			Dataset string `json:"dataset"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(out.Result, &decoded); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if decoded.Matched != 4 || len(decoded.Sources) != 1 || decoded.Sources[0].Dataset != "mydata" {
+		t.Errorf("trace JSON = %+v, want 4 matches traced to dataset mydata", decoded)
+	}
+}
+
+// TestRequestValidation pins the 4xx surface: unknown sessions, duplicate
+// sessions, malformed job kinds, and results demanded before completion.
+func TestRequestValidation(t *testing.T) {
+	g := newGate()
+	defer g.open()
+	c := startDaemon(t, server.Config{
+		Runners: 1, SessionCap: 1, QueueDepth: 4,
+		Pipelines: map[string]server.Factory{"block": gatedFactory(g, "v", 8)},
+	})
+	ctx := context.Background()
+	mustSession(t, c, sdk.SessionSpec{Name: "s", Partitions: 4})
+
+	if _, err := c.CreateSession(ctx, sdk.SessionSpec{Name: "s"}); err == nil {
+		t.Error("duplicate session accepted")
+	}
+	if _, err := c.GetSession(ctx, "ghost"); err == nil {
+		t.Error("unknown session returned")
+	}
+	if _, err := c.SubmitJob(ctx, "s", sdk.SubmitJobRequest{Kind: "mystery"}); err == nil {
+		t.Error("unknown job kind accepted")
+	}
+	if _, err := c.SubmitJob(ctx, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline}); err == nil {
+		t.Error("pipeline job without scenario or spec accepted")
+	}
+	if _, err := c.SubmitJob(ctx, "s", sdk.SubmitJobRequest{Kind: sdk.KindTrace, TargetJob: "j9"}); err == nil {
+		t.Error("trace job without a question accepted")
+	}
+
+	j := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "block"})
+	g.await(t)
+	if _, err := c.Provenance(ctx, "s", j.ID); err == nil {
+		t.Error("provenance of a running job served; want conflict until done")
+	}
+	// Tracing a not-yet-done target must fail the trace job, not hang.
+	tj := submit(t, c, "s", sdk.SubmitJobRequest{Kind: sdk.KindTrace, TargetJob: j.ID, TraceAll: true})
+	g.open()
+	waitStatus(t, c, "s", j.ID, sdk.StatusDone)
+	// The trace may have raced the pipeline's completion; both outcomes are
+	// legal, but it must terminate.
+	ctx2, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	tinfo, err := c.WaitJob(ctx2, "s", tj.ID)
+	if err != nil {
+		t.Fatalf("wait trace: %v", err)
+	}
+	if tinfo.Status != sdk.StatusDone && tinfo.Status != sdk.StatusFailed {
+		t.Errorf("trace against racing target finished %s, want done or failed", tinfo.Status)
+	}
+}

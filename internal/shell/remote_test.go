@@ -1,0 +1,137 @@
+package shell_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pebble/internal/core"
+	"pebble/internal/server"
+	"pebble/internal/shell"
+	"pebble/internal/treepattern"
+	"pebble/internal/workload"
+	"pebble/pkg/sdk"
+)
+
+// newRemoteShell boots a daemon, runs scenario T3 through it as a pipeline
+// job, and returns a remote shell attached to that job.
+func newRemoteShell(t *testing.T) (*shell.Remote, *bytes.Buffer, *sdk.Client) {
+	t.Helper()
+	srv, err := server.New(server.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { srv.Close(); ts.Close() })
+	c := sdk.New(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.CreateSession(ctx, sdk.SessionSpec{Name: "sh"}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.SubmitJob(ctx, "sh", sdk.SubmitJobRequest{Kind: sdk.KindPipeline, Scenario: "T3", SimGB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.WaitJob(ctx, "sh", j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != sdk.StatusDone {
+		t.Fatalf("pipeline job: %s (%s)", info.Status, info.Error)
+	}
+	var out bytes.Buffer
+	return shell.NewRemote(c, "sh", j.ID, &out), &out, c
+}
+
+// TestRemoteShellQuery pins the remote shell's core promise: a textual
+// pattern question answered through the daemon prints the same report a
+// local library execution produces.
+func TestRemoteShellQuery(t *testing.T) {
+	r, out, _ := newRemoteShell(t)
+
+	sc, err := workload.ByName("T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := core.NewSession()
+	cap, err := lib.Capture(sc.Build(), sc.Input(workload.DefaultScale(1), lib.ResolvePartitions(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	question := `//id_str == "hotuser", tweets(text)`
+	pat, err := treepattern.Parse(question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cap.Query(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.Exec(question); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != q.Report() {
+		t.Errorf("remote report differs from library:\n-- remote --\n%s\n-- library --\n%s", got, q.Report())
+	}
+}
+
+// TestRemoteShellCommands smoke-tests the command surface: jobs, use,
+// events, stats, json.
+func TestRemoteShellCommands(t *testing.T) {
+	r, out, _ := newRemoteShell(t)
+
+	if err := r.Exec("jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "pipeline") || !strings.Contains(got, "done") {
+		t.Errorf("jobs output missing pipeline/done:\n%s", got)
+	}
+	if !strings.Contains(out.String(), "* j1") {
+		t.Errorf("jobs output does not mark the target job:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := r.Exec("use j1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tracing against job j1") {
+		t.Errorf("use output: %s", out.String())
+	}
+	if err := r.Exec("use nope"); err == nil {
+		t.Error("use with unknown job id succeeded")
+	}
+
+	out.Reset()
+	if err := r.Exec("events"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status     queued", "status     done", "phase      schedule"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("events output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := r.Exec(`json //id_str == "hotuser", tweets(text)`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"matched"`) {
+		t.Errorf("json output not JSON-shaped:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := r.Exec("stats"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"daemon: up", `session "sh"`, "rows_in"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package treepattern
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pebble/internal/nested"
+)
+
+// This file is the wire format of tree patterns: a JSON codec covering the
+// full constraint set (equality, containment, range bounds, occurrence
+// counts, nested children with child/descendant edges). The textual grammar
+// (parser.go) stays the human entry point; the JSON form is what pebbled's
+// trace jobs and the Go SDK ship across HTTP, because it round-trips every
+// pattern a program can build — including multi-node scenario patterns the
+// single-line grammar renders awkwardly.
+
+// nodeJSON is the serialised form of one pattern node. Value constraints
+// marshal as native JSON values through the nested codec, so `{"eq": "lp"}`
+// and `{"gt": 3}` read exactly like the data they constrain.
+type nodeJSON struct {
+	Attr     string            `json:"attr"`
+	Desc     bool              `json:"desc,omitempty"`
+	Eq       json.RawMessage   `json:"eq,omitempty"`
+	Contains string            `json:"contains,omitempty"`
+	Lt       json.RawMessage   `json:"lt,omitempty"`
+	Gt       json.RawMessage   `json:"gt,omitempty"`
+	MinCount int               `json:"min_count,omitempty"`
+	MaxCount int               `json:"max_count,omitempty"`
+	Children []json.RawMessage `json:"children,omitempty"`
+}
+
+// MarshalJSON serialises the node with its full subtree.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	if n == nil {
+		return nil, fmt.Errorf("treepattern: marshal nil node")
+	}
+	nj := nodeJSON{
+		Attr:     n.Attr,
+		Desc:     n.Edge == DescendantEdge,
+		Contains: n.Contains,
+		MinCount: n.MinCount,
+		MaxCount: n.MaxCount,
+	}
+	enc := func(v *nested.Value) (json.RawMessage, error) {
+		if v == nil {
+			return nil, nil
+		}
+		return v.MarshalJSON()
+	}
+	var err error
+	if nj.Eq, err = enc(n.Eq); err != nil {
+		return nil, err
+	}
+	if nj.Lt, err = enc(n.Lt); err != nil {
+		return nil, err
+	}
+	if nj.Gt, err = enc(n.Gt); err != nil {
+		return nil, err
+	}
+	for _, c := range n.Children {
+		raw, err := c.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		nj.Children = append(nj.Children, raw)
+	}
+	return json.Marshal(nj)
+}
+
+// UnmarshalJSON restores a node serialised by MarshalJSON.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var nj nodeJSON
+	if err := json.Unmarshal(data, &nj); err != nil {
+		return err
+	}
+	if nj.Attr == "" {
+		return fmt.Errorf("treepattern: pattern node without attr")
+	}
+	dec := func(raw json.RawMessage) (*nested.Value, error) {
+		if len(raw) == 0 {
+			return nil, nil
+		}
+		v, err := nested.ParseJSON(raw)
+		if err != nil {
+			return nil, err
+		}
+		return &v, nil
+	}
+	edge := ChildEdge
+	if nj.Desc {
+		edge = DescendantEdge
+	}
+	out := Node{
+		Attr:     nj.Attr,
+		Edge:     edge,
+		Contains: nj.Contains,
+		MinCount: nj.MinCount,
+		MaxCount: nj.MaxCount,
+	}
+	var err error
+	if out.Eq, err = dec(nj.Eq); err != nil {
+		return err
+	}
+	if out.Lt, err = dec(nj.Lt); err != nil {
+		return err
+	}
+	if out.Gt, err = dec(nj.Gt); err != nil {
+		return err
+	}
+	for _, raw := range nj.Children {
+		c := &Node{}
+		if err := c.UnmarshalJSON(raw); err != nil {
+			return err
+		}
+		out.Children = append(out.Children, c)
+	}
+	*n = out
+	return nil
+}
+
+// MarshalJSON serialises the pattern as the array of its root children. The
+// compiled-form cache is not serialised; a restored pattern recompiles on
+// first match.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	nodes := p.Children
+	if nodes == nil {
+		nodes = []*Node{}
+	}
+	return json.Marshal(nodes)
+}
+
+// UnmarshalJSON restores a pattern serialised by MarshalJSON. Unmarshal
+// into a fresh Pattern only: the compiled-form cache of a previously matched
+// pattern is not invalidated.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var children []*Node
+	if err := json.Unmarshal(data, &children); err != nil {
+		return err
+	}
+	p.Children = children
+	return nil
+}

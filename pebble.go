@@ -38,6 +38,8 @@
 package pebble
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"pebble/internal/backtrace"
@@ -228,20 +230,22 @@ type ProvOperator = provenance.Operator
 // TraceFrom answers a provenance question over a (possibly reloaded)
 // provenance run without a Session: it backtraces the structure from the
 // given captured operator. Resolve the operator with run.OpByID or
-// run.Operators().
+// run.Operators(). (The former pebble.Trace, which took a raw operator id,
+// is gone — the typed form catches stale identifiers at resolution time
+// rather than deep inside the walk.)
 func TraceFrom(run *ProvenanceRun, op *ProvOperator, b *Structure) (*TraceResult, error) {
 	return backtrace.TraceOp(run, op, b)
 }
 
-// Trace backtraces the structure from the operator with the raw identifier
-// startOID.
-//
-// Deprecated: resolve the operator with run.OpByID(pebble.OpID(startOID))
-// and call TraceFrom (or Captured.TraceAt on a live capture) instead; the
-// typed form catches stale identifiers at resolution time rather than
-// deep inside the walk.
-func Trace(run *ProvenanceRun, startOID int, b *Structure) (*TraceResult, error) {
-	return backtrace.Trace(run, startOID, b)
+// TraceFromContext is TraceFrom with cooperative cancellation: the context
+// is checked at every operator step of the backtracing walk, so a cancelled
+// provenance query (e.g. a pebbled trace job whose client went away) stops
+// promptly instead of building further association indexes.
+func TraceFromContext(ctx context.Context, run *ProvenanceRun, op *ProvOperator, b *Structure) (*TraceResult, error) {
+	if op == nil {
+		return nil, fmt.Errorf("pebble: TraceFromContext on nil operator")
+	}
+	return backtrace.NewTracer(run).TraceContext(ctx, op.OID, b)
 }
 
 // ParsePattern builds a tree-pattern query from its textual form, e.g. the

@@ -1,0 +1,62 @@
+package sdk
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestAPIErrorDecoding pins the error surface: non-2xx responses become
+// *APIError with the server's message, and 429 carries the Retry-After
+// hint through IsQueueFull.
+func TestAPIErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/sessions/s/jobs":
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error": "job queue full"}`)) //nolint:errcheck
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error": "unknown session"}`)) //nolint:errcheck
+		}
+	}))
+	defer ts.Close()
+	c := New(ts.URL + "/") // trailing slash must not double up
+
+	_, err := c.SubmitJob(context.Background(), "s", SubmitJobRequest{Kind: KindPipeline, Scenario: "x"})
+	ae, full := IsQueueFull(err)
+	if !full {
+		t.Fatalf("err = %v, want queue-full APIError", err)
+	}
+	if ae.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", ae.RetryAfter)
+	}
+	if ae.Message != "job queue full" {
+		t.Errorf("Message = %q", ae.Message)
+	}
+
+	_, err = c.GetJob(context.Background(), "s", "j1")
+	if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusNotFound || ae.Message != "unknown session" {
+		t.Errorf("err = %v (%T), want 404 APIError with message", err, err)
+	}
+	if _, full := IsQueueFull(err); full {
+		t.Error("404 misclassified as queue-full")
+	}
+}
+
+// TestTerminalStatus pins the status machine's terminal set.
+func TestTerminalStatus(t *testing.T) {
+	for _, s := range []string{StatusDone, StatusFailed, StatusCancelled} {
+		if !TerminalStatus(s) {
+			t.Errorf("TerminalStatus(%q) = false", s)
+		}
+	}
+	for _, s := range []string{StatusQueued, StatusRunning, ""} {
+		if TerminalStatus(s) {
+			t.Errorf("TerminalStatus(%q) = true", s)
+		}
+	}
+}

@@ -25,6 +25,10 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== pebbled serve smoke (SDK vs library byte-identity)"
+go run ./cmd/pebbled -smoke T3
+go run ./cmd/pebbled -smoke D1
+
 # Opt-in observability overhead gate (wall-clock benchmark, so not part of
 # the default gate): PEBBLE_BENCH_OVERHEAD=1 make check
 if [ "${PEBBLE_BENCH_OVERHEAD:-0}" = "1" ]; then
