@@ -246,7 +246,6 @@ func TestNewSessionCoversEverySessionField(t *testing.T) {
 		pebble.WithSequential(),
 		pebble.WithAnalyzeFirst(),
 		pebble.WithRecorder(pebble.NewRecorder()),
-		pebble.WithRowExecution(),
 	)
 	v := reflect.ValueOf(s)
 	for i := 0; i < v.NumField(); i++ {
@@ -256,7 +255,7 @@ func TestNewSessionCoversEverySessionField(t *testing.T) {
 		}
 	}
 	// And the struct-literal path keeps working.
-	lit := pebble.Session{Partitions: 3, Workers: 2, Sequential: true, AnalyzeFirst: true, Recorder: s.Recorder, RowExecution: true}
+	lit := pebble.Session{Partitions: 3, Workers: 2, Sequential: true, AnalyzeFirst: true, Recorder: s.Recorder}
 	if lit != s {
 		t.Error("NewSession with all options differs from the equivalent struct literal")
 	}

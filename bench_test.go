@@ -441,7 +441,7 @@ func BenchmarkExecRowVsVector(b *testing.B) {
 			{"row-capture", true, true},
 		} {
 			b.Run(sc.Name+"/"+mode.name, func(b *testing.B) {
-				opts := engine.Options{Partitions: 4, RowExecution: mode.rowExec}
+				opts := engine.Options{Partitions: 4, ScalarFallback: mode.rowExec}
 				for i := 0; i < b.N; i++ {
 					var err error
 					if mode.capture {

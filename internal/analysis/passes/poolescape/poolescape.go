@@ -39,13 +39,26 @@ var (
 	puts          string
 	exempt        string
 	borrowMethods string
+	syncCallers   string
 )
 
 func init() {
-	Analyzer.Flags.StringVar(&sources, "sources", "getBatch,getCol,getIDScratch,getPosScratch", "comma-separated function names whose results are pool-borrowed")
-	Analyzer.Flags.StringVar(&puts, "puts", "putBatch,putIDScratch,putPosScratch", "comma-separated function names that release a pooled value")
+	// The source/put lists name the engine's pool boundary: the columnar
+	// batch helpers plus the join-probe and aggregate kernel scratch of
+	// DESIGN.md §13 (keyTable, group-index scratch, join/aggregate
+	// accumulator arrays, flatten element buffers).
+	Analyzer.Flags.StringVar(&sources, "sources",
+		"getBatch,getCol,getIDScratch,getPosScratch,"+
+			"getKeyTable,getGroupScratch,getJoinScratch,getAggScratch,getAggAccum,getFlattenScratch",
+		"comma-separated function names whose results are pool-borrowed")
+	Analyzer.Flags.StringVar(&puts, "puts",
+		"putBatch,putIDScratch,putPosScratch,"+
+			"putKeyTable,putGroupScratch,putJoinScratch,putAggScratch,putAggAccum,putFlattenScratch",
+		"comma-separated function names that release a pooled value")
 	Analyzer.Flags.StringVar(&exempt, "exempt", "decodeColumn,column", "comma-separated function/method names forming the audited pool boundary; their bodies are skipped")
-	Analyzer.Flags.StringVar(&borrowMethods, "borrowmethods", "column", "comma-separated method names whose results alias pooled storage of their receiver")
+	Analyzer.Flags.StringVar(&borrowMethods, "borrowmethods", "column,keyBytes,matchedFor", "comma-separated method names whose results alias pooled storage of their receiver")
+	Analyzer.Flags.StringVar(&syncCallers, "synccallers", "sort.Slice,sort.SliceStable,forEachPartition",
+		"comma-separated callee names (pkg.Func or bare method name) that run closure arguments synchronously; closures passed to them cannot outlive a deferred Put")
 }
 
 func splitList(s string) map[string]bool {
@@ -63,6 +76,7 @@ type checker struct {
 	sources map[string]bool
 	puts    map[string]bool
 	borrow  map[string]bool
+	sync    map[string]bool
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -71,6 +85,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		sources: splitList(sources),
 		puts:    splitList(puts),
 		borrow:  splitList(borrowMethods),
+		sync:    splitList(syncCallers),
 	}
 	skip := splitList(exempt)
 	for k := range c.sources {
@@ -235,11 +250,41 @@ func (c *checker) checkAssign(s *ast.AssignStmt, n *dataflow.Node, taint *datafl
 	}
 }
 
+// isSyncCaller reports whether call's callee is configured as a synchronous
+// closure driver (sort.Slice, the engine's forEachPartition barrier, ...):
+// closures passed to it return before it does, so they cannot outlive a
+// deferred Put in the enclosing function.
+func (c *checker) isSyncCaller(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return c.sync[fun.Name]
+	case *ast.SelectorExpr:
+		if c.sync[fun.Sel.Name] {
+			return true
+		}
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			return c.sync[fn.Pkg().Name()+"."+fn.Name()]
+		}
+	}
+	return false
+}
+
 func (c *checker) checkClosures(e ast.Expr, n *dataflow.Node, taint *dataflow.Taint) {
+	exemptLits := map[*ast.FuncLit]bool{}
 	ast.Inspect(e, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && c.isSyncCaller(call) {
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					exemptLits[lit] = true
+				}
+			}
+		}
 		lit, ok := x.(*ast.FuncLit)
 		if !ok {
 			return true
+		}
+		if exemptLits[lit] {
+			return true // synchronous caller: keep scanning for nested lits
 		}
 		// Free variables: idents used in the lit whose declaration lies
 		// outside it.
@@ -280,6 +325,13 @@ func (c *checker) checkReleases(r *dataflow.Reaching) {
 	var putVars []*types.Var
 	for _, n := range g.Nodes {
 		if n.Stmt == nil {
+			continue
+		}
+		if _, ok := n.Stmt.(*ast.DeferStmt); ok {
+			// `defer put(x)` — the kernels' standard release idiom — runs at
+			// function exit, not at its syntactic position, so it releases
+			// nothing for the remainder of the body. Escapes via return are
+			// still caught by checkEscapes independently.
 			continue
 		}
 		node := n

@@ -83,3 +83,24 @@ func cleanAllRange(s PartitionSink, ids []int64) {
 	s.UnaryRange(ids, 0)
 	s.SourceRows(0, ids)
 }
+
+// cleanAggGroups mirrors the vectorized aggregate kernel (DESIGN.md §13):
+// one Agg emission per group in sort order, the out-id advancing with the
+// loop, the in-ids a CSR subslice whose ownership transfers to the sink.
+func cleanAggGroups(s PartitionSink, order []int, idsArena []int64, offsets []int32, base int64) {
+	id := base
+	for _, g := range order {
+		s.Agg(idsArena[offsets[g]:offsets[g+1]], id)
+		id++
+	}
+}
+
+// aggShrinkingID walks the group ids backwards — out-ids must advance with
+// the emission order or the serialized stream reorders across schedules.
+func aggShrinkingID(s PartitionSink, order []int, ids []int64, base int64) {
+	id := base
+	for range order {
+		s.Agg(ids, id) // want `id argument id is not monotone in an enclosing loop`
+		id--
+	}
+}

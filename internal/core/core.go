@@ -41,12 +41,6 @@ type Session struct {
 	// query-side timing spans for every run of this session. Nil (the
 	// default) disables observability at near-zero cost.
 	Recorder *obs.Recorder
-	// RowExecution forces the legacy row-at-a-time operator internals
-	// instead of the default vectorized (columnar batch) execution. Results,
-	// identifiers, and captured provenance are byte-identical either way;
-	// the row path is kept as reference semantics for differential testing
-	// and is scheduled for removal (DESIGN.md §10).
-	RowExecution bool
 }
 
 // Option configures a Session built with NewSession.
@@ -67,10 +61,6 @@ func WithAnalyzeFirst() Option { return func(s *Session) { s.AnalyzeFirst = true
 
 // WithRecorder attaches an observability recorder to the session.
 func WithRecorder(rec *obs.Recorder) Option { return func(s *Session) { s.Recorder = rec } }
-
-// WithRowExecution forces the legacy row-at-a-time execution path (the
-// vectorized executor is the default; both produce byte-identical output).
-func WithRowExecution() Option { return func(s *Session) { s.RowExecution = true } }
 
 // NewSession builds a session from functional options; a bare
 // NewSession() is a ready-to-use default session. The zero Session struct
@@ -101,7 +91,7 @@ func (s Session) ResolvePartitions(explicit int) int {
 }
 
 func (s Session) options() engine.Options {
-	return engine.Options{Partitions: s.ResolvePartitions(0), Workers: s.Workers, Sequential: s.Sequential, Recorder: s.Recorder, RowExecution: s.RowExecution}
+	return engine.Options{Partitions: s.ResolvePartitions(0), Workers: s.Workers, Sequential: s.Sequential, Recorder: s.Recorder}
 }
 
 // NewDataset partitions values into the session's logical partition count,

@@ -45,8 +45,12 @@ func main() {
 	}
 	b.WriteString("\t}\n")
 	fmt.Fprintf(&b, "\tpattern := %s\n", patternExpr(s.Pattern))
-	b.WriteString(`	res, run, err := provenance.Capture(p, inputs, engine.Options{})
-	if err != nil {
+	optsExpr := "engine.Options{}"
+	if s.ShuffleJoin {
+		optsExpr = "engine.Options{BroadcastJoinThreshold: -1}"
+	}
+	fmt.Fprintf(&b, "\tres, run, err := provenance.Capture(p, inputs, %s)\n", optsExpr)
+	b.WriteString(`	if err != nil {
 		panic(err)
 	}
 	_ = pattern
@@ -131,9 +135,16 @@ func stepCall(st Step) string {
 	case StepFlatten:
 		return fmt.Sprintf("p.Flatten(op%d, %q, %q)", st.In, st.FlattenCol, st.FlattenAs)
 	case StepAggregate:
-		return fmt.Sprintf(
-			"p.Aggregate(op%d, []engine.GroupKey{engine.Key(%q)}, []engine.AggSpec{engine.Agg(%q, %q, %q)})",
-			st.In, st.GroupBy, st.AggFn, st.AggIn, st.AggOut)
+		keys := make([]string, 0, 2)
+		for _, k := range st.groupKeys() {
+			keys = append(keys, fmt.Sprintf("engine.Key(%q)", k))
+		}
+		aggs := make([]string, 0, 3)
+		for _, ag := range st.aggSpecs() {
+			aggs = append(aggs, fmt.Sprintf("engine.Agg(%q, %q, %q)", ag.Fn, ag.In, ag.Out))
+		}
+		return fmt.Sprintf("p.Aggregate(op%d, []engine.GroupKey{%s}, []engine.AggSpec{%s})",
+			st.In, strings.Join(keys, ", "), strings.Join(aggs, ", "))
 	case StepUnion:
 		return fmt.Sprintf("p.Union(op%d, op%d)", st.In, st.In2)
 	case StepJoin:

@@ -15,6 +15,7 @@
 package corpus
 
 import (
+	"fmt"
 	"math/rand"
 
 	"pebble/internal/nested"
@@ -66,12 +67,18 @@ func RandRows(r *rand.Rand, n int) []nested.Value {
 }
 
 // RandAuxRows builds a random input for the join side dataset "aux" with the
-// schema {acat:string, aw:int}. Categories repeat, so joins fan out.
+// schema {acat:string|null, aw:int}. Categories repeat, so joins fan out;
+// about one key in six is null, so every join exercises the null-key build
+// and probe paths of both executors.
 func RandAuxRows(r *rand.Rand, n int) []nested.Value {
 	out := make([]nested.Value, 0, n)
 	for i := 0; i < n; i++ {
+		acat := nested.StringVal(cats[r.Intn(len(cats))])
+		if r.Intn(6) == 0 {
+			acat = nested.Null()
+		}
 		out = append(out, nested.Item(
-			nested.F("acat", nested.StringVal(cats[r.Intn(len(cats))])),
+			nested.F("acat", acat),
 			nested.F("aw", nested.Int(int64(r.Intn(50)))),
 		))
 	}
@@ -98,7 +105,14 @@ func baseAttrs() map[string]string {
 func Generate(seed int64) *Spec {
 	r := rand.New(rand.NewSource(seed))
 	s := &Spec{Seed: seed}
-	s.Rows = RandRows(r, 12+r.Intn(24))
+	n := 12 + r.Intn(24)
+	if r.Intn(12) == 0 {
+		// Occasionally straddle the morsel boundary (the engine's batch size
+		// is 256) so multi-morsel kernel paths — partial last batches, morsel
+		// handoff in joins and aggregates — get corpus coverage end to end.
+		n = 255 + r.Intn(3)
+	}
+	s.Rows = RandRows(r, n)
 	s.Steps = append(s.Steps, Step{Op: StepSource, In: -1, In2: -1, Dataset: DatasetIn})
 	st := &genState{cur: 0, attrs: baseAttrs()}
 	steps := 2 + r.Intn(5)
@@ -117,14 +131,17 @@ func randStep(r *rand.Rand, s *Spec, st *genState) {
 	if st.attrs["tags"] == typStrBag || st.attrs["subs"] == typSubBag {
 		choices = append(choices, StepFlatten, StepFlatten)
 	}
+	// Joins and aggregates get double weight: they are the operators with
+	// vectorized kernel state (hash tables, accumulator arrays), so the
+	// corpus leans toward join+aggregate-heavy plans.
 	if st.attrs["cat"] == typStr && (st.attrs["val"] == typInt || st.attrs["id"] == typInt) {
-		choices = append(choices, StepAggregate)
+		choices = append(choices, StepAggregate, StepAggregate)
 	}
 	if len(st.attrs) > 0 {
 		choices = append(choices, StepUnion, StepDistinct, StepOrderBy, StepLimit)
 	}
 	if st.attrs["cat"] == typStr && len(s.Aux) == 0 {
-		choices = append(choices, StepJoin)
+		choices = append(choices, StepJoin, StepJoin)
 	}
 	switch choices[r.Intn(len(choices))] {
 	case StepFilter:
@@ -152,10 +169,49 @@ func randStep(r *rand.Rand, s *Spec, st *genState) {
 		if st.attrs["val"] != typInt {
 			aggIn = "id"
 		}
-		fn := []string{"collect_list", "sum", "count", "max"}[r.Intn(4)]
-		st.cur = s.push(Step{Op: StepAggregate, In: st.cur, In2: -1,
-			GroupBy: "cat", AggFn: fn, AggIn: aggIn, AggOut: "agg_out"})
-		st.attrs = map[string]string{"cat": typStr, "agg_out": typOther}
+		// Grouping keys: always cat, sometimes joined by another string
+		// attribute (a flattened tag or the join-side acat) for composite
+		// group keys.
+		keys := []string{"cat"}
+		for _, extra := range []string{"tag", "acat"} {
+			if st.attrs[extra] == typStr && r.Intn(3) == 0 {
+				keys = append(keys, extra)
+			}
+		}
+		// Aggregate inputs stay int-typed so numeric functions cannot fail;
+		// 1–3 computations per step cover the shared-column decode (several
+		// aggregates over one input) and the mixed-accumulator layouts.
+		ints := []string{aggIn}
+		for _, name := range []string{"aw", "subv"} {
+			if st.attrs[name] == typInt {
+				ints = append(ints, name)
+			}
+		}
+		fns := []string{"collect_list", "collect_set", "sum", "count", "max", "min", "avg"}
+		nAggs := 1 + r.Intn(3)
+		aggs := make([]AggStep, 0, nAggs)
+		attrs := map[string]string{}
+		for _, k := range keys {
+			attrs[k] = typStr
+		}
+		for j := 0; j < nAggs; j++ {
+			out := "agg_out"
+			if j > 0 {
+				out = fmt.Sprintf("agg_out%d", j+1)
+			}
+			aggs = append(aggs, AggStep{Fn: fns[r.Intn(len(fns))], In: ints[r.Intn(len(ints))], Out: out})
+			attrs[out] = typOther
+		}
+		stp := Step{Op: StepAggregate, In: st.cur, In2: -1}
+		if len(keys) == 1 && len(aggs) == 1 {
+			// Keep the legacy single-aggregate spelling so simple generated
+			// specs stay textually comparable with committed reproducers.
+			stp.GroupBy, stp.AggFn, stp.AggIn, stp.AggOut = keys[0], aggs[0].Fn, aggs[0].In, aggs[0].Out
+		} else {
+			stp.GroupBys, stp.Aggs = keys, aggs
+		}
+		st.cur = s.push(stp)
+		st.attrs = attrs
 	case StepUnion:
 		// Union with itself keeps the schema and doubles multiplicities; the
 		// same source feeding two edges exercises the shared-predecessor
@@ -176,6 +232,9 @@ func randStep(r *rand.Rand, s *Spec, st *genState) {
 		st.cur = s.push(Step{Op: StepLimit, In: st.cur, In2: -1, Limit: 5 + r.Intn(20)})
 	case StepJoin:
 		s.Aux = RandAuxRows(r, 6+r.Intn(8))
+		// Half the specs with a join pin it to the shuffle path; the other
+		// half keep the default threshold, which broadcasts at corpus sizes.
+		s.ShuffleJoin = r.Intn(2) == 0
 		aux := s.push(Step{Op: StepSource, In: -1, In2: -1, Dataset: DatasetAux})
 		st.cur = s.push(Step{Op: StepJoin, In: st.cur, In2: aux,
 			JoinLeftKey: "cat", JoinRightKey: "acat"})

@@ -73,6 +73,14 @@ type FieldSpec struct {
 	Col  string `json:"col"`
 }
 
+// AggStep is one aggregate computation inside an aggregate step: function
+// name (an engine.AggFunc string), input attribute, and output attribute.
+type AggStep struct {
+	Fn  string `json:"fn"`
+	In  string `json:"in"`
+	Out string `json:"out"`
+}
+
 // PatternSpec is a serializable single-node tree pattern with the extended
 // constraint set: equality, containment, open range bounds, and counts.
 // Kind is one of "eq-int", "eq-str", "contains", "lt-int", "gt-int".
@@ -102,11 +110,32 @@ type Step struct {
 	AggFn        string      `json:"aggFn,omitempty"`
 	AggIn        string      `json:"aggIn,omitempty"`
 	AggOut       string      `json:"aggOut,omitempty"`
+	GroupBys     []string    `json:"groupBys,omitempty"`
+	Aggs         []AggStep   `json:"aggs,omitempty"`
 	JoinLeftKey  string      `json:"joinLeftKey,omitempty"`
 	JoinRightKey string      `json:"joinRightKey,omitempty"`
 	SortKey      string      `json:"sortKey,omitempty"`
 	SortDesc     bool        `json:"sortDesc,omitempty"`
 	Limit        int         `json:"limit,omitempty"`
+}
+
+// groupKeys returns an aggregate step's grouping attributes: the plural
+// GroupBys when present, else the legacy single GroupBy. Committed repro
+// specs predate the plural form, so both spellings must stay loadable.
+func (st *Step) groupKeys() []string {
+	if len(st.GroupBys) > 0 {
+		return st.GroupBys
+	}
+	return []string{st.GroupBy}
+}
+
+// aggSpecs returns an aggregate step's computations, normalizing the legacy
+// single-aggregate fields (AggFn/AggIn/AggOut) into the plural form.
+func (st *Step) aggSpecs() []AggStep {
+	if len(st.Aggs) > 0 {
+		return st.Aggs
+	}
+	return []AggStep{{Fn: st.AggFn, In: st.AggIn, Out: st.AggOut}}
 }
 
 // Spec is one generated test case: datasets, pipeline, and the tree-pattern
@@ -118,6 +147,23 @@ type Spec struct {
 	Steps   []Step         `json:"steps"`
 	Sink    int            `json:"sink"`
 	Pattern *PatternSpec   `json:"pattern,omitempty"`
+	// ShuffleJoin pins every join in the spec to the repartition (shuffle)
+	// path by disabling the broadcast threshold. Corpus datasets are small
+	// enough that the default threshold would otherwise route every join
+	// through the broadcast kernels; carrying the shape on the spec means
+	// both kernels get differential coverage and a shrunk reproducer replays
+	// with the join shape that exposed the disagreement.
+	ShuffleJoin bool `json:"shuffleJoin,omitempty"`
+}
+
+// ExecOptions returns base with the spec's execution-shape knobs applied;
+// every harness that executes a spec (oracle, invariants, fuzz) must build
+// its engine options through this so serialized specs replay faithfully.
+func (s *Spec) ExecOptions(base engine.Options) engine.Options {
+	if s.ShuffleJoin {
+		base.BroadcastJoinThreshold = -1
+	}
+	return base
 }
 
 // push appends a step and returns its index.
@@ -164,9 +210,15 @@ func (s *Spec) Build() (p *engine.Pipeline, err error) {
 		case StepFlatten:
 			ops[i] = p.Flatten(a, st.FlattenCol, st.FlattenAs)
 		case StepAggregate:
-			ops[i] = p.Aggregate(a,
-				[]engine.GroupKey{engine.Key(st.GroupBy)},
-				[]engine.AggSpec{engine.Agg(engine.AggFunc(st.AggFn), st.AggIn, st.AggOut)})
+			var keys []engine.GroupKey
+			for _, k := range st.groupKeys() {
+				keys = append(keys, engine.Key(k))
+			}
+			var aggs []engine.AggSpec
+			for _, ag := range st.aggSpecs() {
+				aggs = append(aggs, engine.Agg(engine.AggFunc(ag.Fn), ag.In, ag.Out))
+			}
+			ops[i] = p.Aggregate(a, keys, aggs)
 		case StepUnion:
 			if b, err = in(st.In2); err != nil {
 				return nil, err
@@ -295,12 +347,24 @@ func (s *Spec) AggOutputsReachSink() bool {
 			}
 			alias[i] = out
 		case StepAggregate:
-			// The aggregate keeps only its group key and its own output:
-			// an upstream aggregate alias survives only as the new AggIn.
-			if in := alias[st.In]; len(in) > 1 || (len(in) == 1 && !in[st.AggIn]) {
-				ok = false
+			// The aggregate keeps only its group keys and its own outputs:
+			// an upstream aggregate alias survives only by being consumed as
+			// some aggregate's input.
+			ins := map[string]bool{}
+			for _, ag := range st.aggSpecs() {
+				ins[ag.In] = true
 			}
-			alias[i] = map[string]bool{st.AggOut: true}
+			//pebblevet:ignore determinism -- the body only ANDs into ok; the result is iteration-order independent
+			for name := range alias[st.In] {
+				if !ins[name] {
+					ok = false
+				}
+			}
+			out := map[string]bool{}
+			for _, ag := range st.aggSpecs() {
+				out[ag.Out] = true
+			}
+			alias[i] = out
 		case StepFlatten:
 			if alias[st.In][st.FlattenCol] {
 				ok = false
@@ -324,7 +388,7 @@ func (s *Spec) AggOutputsReachSink() bool {
 
 // Clone returns a deep copy of the spec (values are immutable and shared).
 func (s *Spec) Clone() *Spec {
-	out := &Spec{Seed: s.Seed, Sink: s.Sink}
+	out := &Spec{Seed: s.Seed, Sink: s.Sink, ShuffleJoin: s.ShuffleJoin}
 	out.Rows = append([]nested.Value(nil), s.Rows...)
 	out.Aux = append([]nested.Value(nil), s.Aux...)
 	out.Steps = make([]Step, len(s.Steps))
@@ -335,6 +399,8 @@ func (s *Spec) Clone() *Spec {
 			cp.Pred = &p
 		}
 		cp.Fields = append([]FieldSpec(nil), st.Fields...)
+		cp.GroupBys = append([]string(nil), st.GroupBys...)
+		cp.Aggs = append([]AggStep(nil), st.Aggs...)
 		out.Steps[i] = cp
 	}
 	if s.Pattern != nil {
@@ -418,12 +484,13 @@ func (s *Spec) DropStep(i int) (*Spec, bool) {
 // (nested.Value marshals naturally; parsing restores items, bags, and
 // constants).
 type specJSON struct {
-	Seed    int64             `json:"seed"`
-	Rows    []json.RawMessage `json:"rows"`
-	Aux     []json.RawMessage `json:"aux,omitempty"`
-	Steps   []Step            `json:"steps"`
-	Sink    int               `json:"sink"`
-	Pattern *PatternSpec      `json:"pattern,omitempty"`
+	Seed        int64             `json:"seed"`
+	Rows        []json.RawMessage `json:"rows"`
+	Aux         []json.RawMessage `json:"aux,omitempty"`
+	Steps       []Step            `json:"steps"`
+	Sink        int               `json:"sink"`
+	Pattern     *PatternSpec      `json:"pattern,omitempty"`
+	ShuffleJoin bool              `json:"shuffleJoin,omitempty"`
 }
 
 // MarshalJSON serializes the spec including its datasets.
@@ -449,7 +516,7 @@ func (s *Spec) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(specJSON{
 		Seed: s.Seed, Rows: rows, Aux: aux,
-		Steps: s.Steps, Sink: s.Sink, Pattern: s.Pattern,
+		Steps: s.Steps, Sink: s.Sink, Pattern: s.Pattern, ShuffleJoin: s.ShuffleJoin,
 	})
 }
 
@@ -478,7 +545,8 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*s = Spec{Seed: sj.Seed, Rows: rows, Aux: aux, Steps: sj.Steps, Sink: sj.Sink, Pattern: sj.Pattern}
+	*s = Spec{Seed: sj.Seed, Rows: rows, Aux: aux, Steps: sj.Steps, Sink: sj.Sink,
+		Pattern: sj.Pattern, ShuffleJoin: sj.ShuffleJoin}
 	return nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -53,13 +52,14 @@ type Options struct {
 	// recording call sites are bulk (per partition morsel), so the disabled
 	// path costs only predictable nil checks.
 	Recorder *obs.Recorder
-	// RowExecution forces the legacy row-at-a-time operator internals
-	// instead of the default vectorized (columnar batch) execution. Results,
-	// identifiers, and captured provenance are byte-identical either way —
-	// the differential oracle diffs the two executors directly — and the
-	// row path is kept for one release as the reference semantics
-	// (DESIGN.md §10).
-	RowExecution bool
+	// ScalarFallback skips the vectorized kernels and runs every operator
+	// through its scalar fallback body — the row-at-a-time reference
+	// semantics the kernels fall back to on shapes they cannot reproduce
+	// exactly. Results, identifiers, and captured provenance are
+	// byte-identical either way; the differential oracle and the kernel
+	// benchmarks diff the two executions directly (DESIGN.md §10, §13).
+	// Engine-internal: the public API always runs vectorized.
+	ScalarFallback bool
 }
 
 // OpStats reports per-operator execution metrics.
@@ -776,51 +776,9 @@ func (e *executor) execJoin(o *Op) (*Dataset, error) {
 	rightSchema := topLevelSchema(right)
 	parts := make([][]pending, e.opts.Partitions)
 	err = e.forEachPartition(e.opts.Partitions, func(part int) error {
-		// Build on the left, probe with the right; outputs ordered by
-		// (right seq, left seq) for determinism. Hashes were cached by the
-		// shuffle, so neither side rehashes its keys here.
-		build := make(map[uint64][]keyedRow, len(lb[part]))
-		for _, kr := range lb[part] {
-			build[kr.hash] = append(build[kr.hash], kr)
-		}
-		matched := make(map[int64]bool)
-		// Floor capacity: most joins emit about one row per probe row, and
-		// unmatched left rows reuse whatever headroom is left.
-		out := make([]pending, 0, len(rb[part]))
-		probe := make([]keyedRow, len(rb[part]))
-		copy(probe, rb[part])
-		sort.Slice(probe, func(i, j int) bool { return probe[i].seq < probe[j].seq })
-		for _, rkr := range probe {
-			for _, lkr := range build[rkr.hash] {
-				if compareWidened(lkr.key, rkr.key) != 0 {
-					continue
-				}
-				item, err := concatItems(lkr.row.Value, rkr.row.Value)
-				if err != nil {
-					return err
-				}
-				matched[lkr.row.ID] = true
-				out = append(out, pending{value: item, in1: lkr.row.ID, in2: rkr.row.ID})
-			}
-		}
-		if o.leftOuter {
-			// Unmatched left rows survive with null right attributes; rows
-			// whose key is null never reached this bucket, so they are
-			// handled below per left partition — here only keyed rows.
-			unmatched := make([]keyedRow, 0, len(lb[part]))
-			for _, kr := range lb[part] {
-				if !matched[kr.row.ID] {
-					unmatched = append(unmatched, kr)
-				}
-			}
-			sort.Slice(unmatched, func(i, j int) bool { return unmatched[i].seq < unmatched[j].seq })
-			for _, kr := range unmatched {
-				item, err := concatWithNulls(kr.row.Value, rightSchema)
-				if err != nil {
-					return err
-				}
-				out = append(out, pending{value: item, in1: kr.row.ID, in2: -1})
-			}
+		out, err := e.joinBucketMorsel(o, lb[part], rb[part], rightSchema)
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		return nil
@@ -889,6 +847,9 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 		buildKey, probeKey = o.rightKey, o.leftKey
 	}
 	e.startOperator(o, len(probeDS.Partitions), topLevelSchema(left), topLevelSchema(right), nested.Null())
+	if e.vectorized() {
+		return e.execBroadcastJoinVec(o, buildDS, probeDS, buildKey, probeKey, buildLeft)
+	}
 	// Build once, sequentially (the build side is small by construction).
 	build := make(map[uint64][]keyedRow)
 	buildHashed := 0
@@ -915,41 +876,12 @@ func (e *executor) execBroadcastJoin(o *Op, left, right *Dataset) (*Dataset, err
 	probeKeyOps := EvalOps(probeKey)
 	parts := make([][]pending, len(probeDS.Partitions))
 	err := e.forEachPartition(len(probeDS.Partitions), func(part int) error {
-		// Floor capacity: most joins emit about one row per probe row.
-		out := make([]pending, 0, len(probeDS.Partitions[part]))
-		probeHashed := 0
-		// The probe side's keys are evaluated column-wise under the
-		// vectorized executor; probing itself stays row-ordered.
+		// The probe side's keys come pre-evaluated only under the vectorized
+		// executor; here probeKeysMorsel declines and the loop evaluates.
 		keys, _ := e.probeKeysMorsel(probeKey, probeDS.Partitions[part])
-		for ri, r := range probeDS.Partitions[part] {
-			var k nested.Value
-			if keys != nil {
-				k = keys[ri]
-			} else {
-				var err error
-				k, err = probeKey.Eval(r.Value)
-				if err != nil {
-					return err
-				}
-			}
-			if k.IsNull() {
-				continue
-			}
-			probeHashed++
-			for _, bkr := range build[valueHash(k)] {
-				if compareWidened(bkr.key, k) != 0 {
-					continue
-				}
-				lRow, rRow := bkr.row, r
-				if !buildLeft {
-					lRow, rRow = r, bkr.row
-				}
-				item, err := concatItems(lRow.Value, rRow.Value)
-				if err != nil {
-					return err
-				}
-				out = append(out, pending{value: item, in1: lRow.ID, in2: rRow.ID})
-			}
+		out, probeHashed, err := broadcastProbePart(probeKey, build, probeDS.Partitions[part], keys, buildLeft)
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		if rec := e.opts.Recorder; rec != nil {
@@ -992,54 +924,9 @@ func (e *executor) execAggregate(o *Op) (*Dataset, error) {
 	}
 	parts := make([][]pending, e.opts.Partitions)
 	err = e.forEachPartition(e.opts.Partitions, func(part int) error {
-		// Group rows within the bucket by full key equality.
-		type group struct {
-			key  nested.Value
-			rows []keyedRow
-		}
-		groups := make(map[uint64][]*group)
-		var order []*group
-		for _, kr := range buckets[part] {
-			h := kr.hash // cached by the shuffle; no rehash per row
-			var g *group
-			for _, cand := range groups[h] {
-				if nested.Equal(cand.key, kr.key) {
-					g = cand
-					break
-				}
-			}
-			if g == nil {
-				g = &group{key: kr.key} //pebblevet:ignore hotalloc -- one allocation per distinct group, not per row
-				groups[h] = append(groups[h], g)
-				order = append(order, g) //pebblevet:ignore hotalloc -- grows once per distinct group; group count is data-dependent
-			}
-			g.rows = append(g.rows, kr)
-		}
-		// Deterministic output: groups ordered by key, rows by sequence.
-		sort.Slice(order, func(i, j int) bool { return nested.Compare(order[i].key, order[j].key) < 0 })
-		var out []pending
-		for _, g := range order {
-			sort.Slice(g.rows, func(i, j int) bool { return g.rows[i].seq < g.rows[j].seq })
-			fields := make([]nested.Field, 0, len(o.groupBy)+len(o.aggs))
-			fields = append(fields, g.key.Fields()...)
-			for _, spec := range o.aggs {
-				av, err := computeAgg(spec, g.rows)
-				if err != nil {
-					return err
-				}
-				fields = append(fields, nested.F(spec.Out, av))
-			}
-			// The contributing-identifier collection is only materialised
-			// when provenance is captured — it is the dominant share of the
-			// aggregation's capture cost (Sec. 7.3.1).
-			var ids []int64
-			if e.opts.Sink != nil {
-				ids = make([]int64, len(g.rows))
-				for i, kr := range g.rows {
-					ids[i] = kr.row.ID
-				}
-			}
-			out = append(out, pending{value: nested.Item(fields...), inIDs: ids})
+		out, err := e.aggBucketMorsel(o, buckets[part])
+		if err != nil {
+			return err
 		}
 		parts[part] = out
 		if rec := e.opts.Recorder; rec != nil {

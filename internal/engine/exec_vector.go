@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"pebble/internal/nested"
 	"pebble/internal/path"
@@ -12,12 +13,14 @@ import (
 // dispatches the per-partition work here: the vectorized body chunks the
 // morsel into batches of batchSize rows, evaluates expressions column-wise,
 // and gathers outputs; when vectorized evaluation signals a fallback (see
-// evalVec's error contract) the whole partition re-runs through the
-// row-at-a-time body, reproducing the row engine's exact error or output.
-// Options.RowExecution skips the vector attempt entirely.
+// evalVec's error contract) the whole partition re-runs through the scalar
+// fallback body (*MorselScalar), reproducing the reference semantics' exact
+// error or output. Options.ScalarFallback skips the vector attempt entirely
+// — that is how the differential oracle and the kernel benchmarks pin the
+// vectorized executor against the reference.
 
 // vectorized reports whether this run uses the columnar executor.
-func (e *executor) vectorized() bool { return !e.opts.RowExecution }
+func (e *executor) vectorized() bool { return !e.opts.ScalarFallback }
 
 // ---- filter ----
 
@@ -27,10 +30,10 @@ func (e *executor) filterMorsel(o *Op, rows []Row) ([]pending, error) {
 			return out, nil
 		}
 	}
-	return filterMorselRow(o, rows)
+	return filterMorselScalar(o, rows)
 }
 
-func filterMorselRow(o *Op, rows []Row) ([]pending, error) {
+func filterMorselScalar(o *Op, rows []Row) ([]pending, error) {
 	out := make([]pending, 0, len(rows))
 	for _, r := range rows {
 		v, err := o.pred.Eval(r.Value)
@@ -51,7 +54,7 @@ func filterMorselRow(o *Op, rows []Row) ([]pending, error) {
 func filterMorselVec(pred Expr, rows []Row) ([]pending, bool) {
 	var out []pending
 	for start := 0; start < len(rows); start += batchSize {
-		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		chunk := rows[start:min(start+batchSize, len(rows))]
 		b := getBatch(chunk)
 		c, err := evalVec(pred, b)
 		if err != nil {
@@ -112,10 +115,10 @@ func (e *executor) selectMorsel(o *Op, rows []Row) ([]pending, error) {
 			return out, nil
 		}
 	}
-	return selectMorselRow(o, rows)
+	return selectMorselScalar(o, rows)
 }
 
-func selectMorselRow(o *Op, rows []Row) ([]pending, error) {
+func selectMorselScalar(o *Op, rows []Row) ([]pending, error) {
 	out := make([]pending, 0, len(rows))
 	for _, r := range rows {
 		item, err := evalSelect(o.fields, r.Value)
@@ -188,7 +191,7 @@ func assembleSelect(fields []SelectField, cols []selCol, i int, row nested.Value
 func selectMorselVec(fields []SelectField, rows []Row) ([]pending, bool) {
 	out := make([]pending, 0, len(rows))
 	for start := 0; start < len(rows); start += batchSize {
-		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		chunk := rows[start:min(start+batchSize, len(rows))]
 		b := getBatch(chunk)
 		cols, err := prepSelectCols(fields, b)
 		if err != nil {
@@ -211,10 +214,10 @@ func (e *executor) flattenMorsel(o *Op, rows []Row) ([]pending, error) {
 			return out, nil
 		}
 	}
-	return flattenMorselRow(o, rows)
+	return flattenMorselScalar(o, rows)
 }
 
-func flattenMorselRow(o *Op, rows []Row) ([]pending, error) {
+func flattenMorselScalar(o *Op, rows []Row) ([]pending, error) {
 	// Floor capacity: flatten usually emits at least one row per input row.
 	out := make([]pending, 0, len(rows))
 	for _, r := range rows {
@@ -234,76 +237,66 @@ func flattenMorselRow(o *Op, rows []Row) ([]pending, error) {
 }
 
 func flattenMorselVec(o *Op, rows []Row) ([]pending, bool) {
+	// Bags are never scalar, so a decoded column would be generic storage —
+	// decodeColumn would evaluate the path per row and copy each bag value
+	// into the column just for this loop to read it back once. The kernel
+	// bypasses the batch machinery entirely (the same single-read bypass as
+	// evalKeysVec): it evaluates the path directly into a pooled per-chunk
+	// buffer and operates on the bag offsets — Elems() borrows the nested
+	// collection's backing array, so no element is materialised until the
+	// output row is built.
+	//
 	// Floor capacity; the per-chunk pre-growth below extends it exactly.
 	out := make([]pending, 0, len(rows))
+	buf := getFlattenScratch()
+	defer putFlattenScratch(buf)
 	for start := 0; start < len(rows); start += batchSize {
-		chunk := rows[start:minInt(start+batchSize, len(rows))]
-		b := getBatch(chunk)
-		c := b.column(o.flattenCol)
-		// Offsets pass over the nested bags: validate kinds and pre-size the
-		// exploded output exactly before building a single row. Bags are
-		// never scalar, so the decoded column is generic storage in practice
-		// — index vals directly (the accessors inline over addressable
-		// elements) instead of paying at()'s struct-return copy per read.
-		if c.kind == nested.KindInvalid && !c.bcast {
-			vals := c.vals
-			total := 0
-			for i := range vals {
-				if vals[i].IsNull() {
-					continue
-				}
-				if !vals[i].Kind().IsCollection() {
-					putBatch(b)
-					return nil, false // row path reproduces the type error
-				}
-				total += vals[i].Len()
-			}
-			if total > 0 && cap(out)-len(out) < total {
-				grown := make([]pending, len(out), len(out)+total)
-				copy(grown, out)
-				out = grown
-			}
-			for i := range vals {
-				if vals[i].IsNull() {
-					continue
-				}
-				for idx, elem := range vals[i].Elems() {
-					out = append(out, pending{value: chunk[i].Value.WithField(o.flattenNew, elem), in1: chunk[i].ID, pos: idx + 1})
-				}
-			}
-			putBatch(b)
-			continue
-		}
+		chunk := rows[start:min(start+batchSize, len(rows))]
+		vals := buf[:len(chunk)]
+		// Offsets pass: validate kinds and pre-size the exploded output
+		// exactly before building a single row.
 		total := 0
 		for i := range chunk {
-			v := c.at(i)
+			v := evalColDirect(o.flattenCol, chunk[i].Value)
+			vals[i] = v
 			if v.IsNull() {
 				continue
 			}
 			if !v.Kind().IsCollection() {
-				putBatch(b)
 				return nil, false // row path reproduces the type error
 			}
 			total += v.Len()
 		}
 		if total > 0 && cap(out)-len(out) < total {
-			grown := make([]pending, len(out), len(out)+total)
-			copy(grown, out)
-			out = grown
+			bigger := make([]pending, len(out), len(out)+total)
+			copy(bigger, out)
+			out = bigger
 		}
 		for i := range chunk {
-			v := c.at(i)
-			if v.IsNull() {
+			if vals[i].IsNull() {
 				continue
 			}
-			for idx, elem := range v.Elems() {
+			for idx, elem := range vals[i].Elems() {
 				out = append(out, pending{value: chunk[i].Value.WithField(o.flattenNew, elem), in1: chunk[i].ID, pos: idx + 1})
 			}
 		}
-		putBatch(b)
 	}
 	return out, true
 }
+
+// flattenScratchPool recycles the per-chunk flatten column buffers. Pooled
+// buffers keep stale Values until overwritten (bounded by batchSize);
+// outputs never alias the buffer — WithField copies the fields it keeps.
+var flattenScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]nested.Value, batchSize)
+		return &s
+	},
+}
+
+func getFlattenScratch() []nested.Value { return *flattenScratchPool.Get().(*[]nested.Value) }
+
+func putFlattenScratch(s []nested.Value) { flattenScratchPool.Put(&s) }
 
 // ---- shuffle keys ----
 
@@ -348,7 +341,7 @@ func evalKeysVec(k shuffleKey, rows []Row) ([]nested.Value, bool) {
 	}
 	keys := make([]nested.Value, 0, len(rows))
 	for start := 0; start < len(rows); start += batchSize {
-		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		chunk := rows[start:min(start+batchSize, len(rows))]
 		b := getBatch(chunk)
 		c, err := evalVec(k.expr, b)
 		if err != nil {
@@ -415,7 +408,7 @@ func sortKeysVec(sortKeys []Expr, rows []Row) ([][]nested.Value, bool) {
 		return keys, true
 	}
 	for start := 0; start < len(rows); start += batchSize {
-		chunk := rows[start:minInt(start+batchSize, len(rows))]
+		chunk := rows[start:min(start+batchSize, len(rows))]
 		b := getBatch(chunk)
 		cols := make([]*colVec, len(sortKeys))
 		for j, k := range sortKeys {
@@ -458,11 +451,4 @@ func evalColDirect(p path.Path, row nested.Value) nested.Value {
 		return nested.Null()
 	}
 	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -94,7 +94,7 @@ func runBoth(t *testing.T, build func() *Pipeline, values []nested.Value, parts 
 		sink := newRecordingSink()
 		o := opts
 		o.Partitions = parts
-		o.RowExecution = rowExec
+		o.ScalarFallback = rowExec
 		o.Sink = sink
 		inputs := map[string]*Dataset{"in": dataset(t, "in", values, parts)}
 		res := runPipeline(t, build(), inputs, o)

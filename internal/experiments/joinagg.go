@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"pebble/internal/engine"
+	"pebble/internal/provenance"
+	"pebble/internal/workload"
+)
+
+// JoinAggRow is one scenario of the join/aggregate kernel sweep (PR 10): a
+// join- or aggregate-dominated pipeline executed through the vectorized
+// kernels and through the scalar reference path, plain and under eager
+// structural capture, with the byte-identity cross-check the executors owe
+// each other.
+type JoinAggRow struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	SimGB       int    `json:"sim_gb"`
+	// Plain execution (no capture sink attached).
+	VecPlain     time.Duration `json:"vec_plain_ns"`
+	RowPlain     time.Duration `json:"row_plain_ns"`
+	PlainSpeedup float64       `json:"row_over_vec_plain"`
+	// Eager structural capture.
+	VecCapture     time.Duration `json:"vec_capture_ns"`
+	RowCapture     time.Duration `json:"row_capture_ns"`
+	CaptureSpeedup float64       `json:"row_over_vec_capture"`
+	// Identical asserts the acceptance contract: result rows and the
+	// serialized v2 provenance stream agree byte for byte across executors.
+	Identical bool `json:"identical_results"`
+}
+
+// joinAggScenario is one pipeline of the sweep. Threshold pins the join
+// shape: a huge threshold forces the broadcast path, a negative one forces
+// the shuffle path, zero keeps the engine default (aggregate-only scenarios
+// don't care).
+type joinAggScenario struct {
+	name      string
+	desc      string
+	dataset   string
+	threshold int
+	build     func() *engine.Pipeline
+}
+
+func joinAggScenarios() []joinAggScenario {
+	return []joinAggScenario{
+		{
+			name:      "JB",
+			desc:      "broadcast join: inproceedings probe x proceedings build",
+			dataset:   "dblp",
+			threshold: 1 << 30,
+			build:     buildJoinAggJoin,
+		},
+		{
+			name:      "JS",
+			desc:      "shuffle join: same pipeline, both sides hash-partitioned",
+			dataset:   "dblp",
+			threshold: -1,
+			build:     buildJoinAggJoin,
+		},
+		{
+			name:    "AN",
+			desc:    "numeric multi-aggregate: count/sum/avg/min/max per user",
+			dataset: "twitter",
+			build:   buildJoinAggNumeric,
+		},
+		{
+			name:    "AC",
+			desc:    "collect aggregates: list+set of tweet structs per mention",
+			dataset: "twitter",
+			build:   buildJoinAggCollect,
+		},
+		{
+			name:    "AW",
+			desc:    "high-cardinality count: one group per tweet id",
+			dataset: "twitter",
+			build:   buildJoinAggWide,
+		},
+		{
+			name:      "JA",
+			desc:      "join then multi-aggregate: papers per proceeding with author stats",
+			dataset:   "dblp",
+			threshold: -1,
+			build:     buildJoinAggCombined,
+		},
+	}
+}
+
+// buildJoinAggJoin is the D1 join skeleton with the selects trimmed to the
+// join columns plus one payload column per side, so probe and output
+// assembly — not expression evaluation — dominate the profile.
+func buildJoinAggJoin() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readI := p.Source("dblp.json")
+	inproc := p.Filter(readI, engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")))
+	selI := p.Select(inproc,
+		engine.Column("ikey", "key"),
+		engine.Column("ititle", "title"),
+		engine.Column("crossref", "crossref"),
+	)
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.Column("pkey", "key"),
+		engine.Column("ptitle", "title"),
+	)
+	p.Join(selI, selP, engine.Col("crossref"), engine.Col("pkey"))
+	return p
+}
+
+// buildJoinAggNumeric drives every typed accumulator of the vectorized
+// aggregate kernel over one groupBy: count, sum, avg, min, and max of the
+// same integer column, grouped per authoring user.
+func buildJoinAggNumeric() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read := p.Source("tweets.json")
+	sel := p.Select(read,
+		engine.Column("uid", "user.id_str"),
+		engine.Column("rt", "retweet_cnt"),
+	)
+	p.Aggregate(sel,
+		[]engine.GroupKey{engine.Key("uid")},
+		[]engine.AggSpec{
+			engine.Agg(engine.AggCount, "rt", "n"),
+			engine.Agg(engine.AggSum, "rt", "total"),
+			engine.Agg(engine.AggAvg, "rt", "mean"),
+			engine.Agg(engine.AggMin, "rt", "lo"),
+			engine.Agg(engine.AggMax, "rt", "hi"),
+		},
+	)
+	return p
+}
+
+// buildJoinAggCollect is the T1 shape: flatten mentions, then collect a bag
+// of complex tweet structs and a set of texts per mentioned user — the
+// retention-heavy side of the aggregate kernel.
+func buildJoinAggCollect() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read := p.Source("tweets.json")
+	flat := p.Flatten(read, "user_mentions", "m_user")
+	sel := p.Select(flat,
+		engine.StructField("tweet",
+			engine.Column("text", "text"),
+			engine.Column("retweet_cnt", "retweet_cnt"),
+		),
+		engine.Column("text", "text"),
+		engine.Column("m_user", "m_user"),
+	)
+	p.Aggregate(sel,
+		[]engine.GroupKey{engine.KeyAs("user", "m_user")},
+		[]engine.AggSpec{
+			engine.Agg(engine.AggCollectList, "tweet", "tweets"),
+			engine.Agg(engine.AggCollectSet, "text", "texts"),
+		},
+	)
+	return p
+}
+
+// buildJoinAggWide groups by the (nearly unique) tweet id, so the kernel's
+// key table carries one group per row — the build-heavy extreme.
+func buildJoinAggWide() *engine.Pipeline {
+	p := engine.NewPipeline()
+	read := p.Source("tweets.json")
+	sel := p.Select(read,
+		engine.Column("tid", "id_str"),
+		engine.Column("rt", "retweet_cnt"),
+	)
+	p.Aggregate(sel,
+		[]engine.GroupKey{engine.Key("tid")},
+		[]engine.AggSpec{engine.Agg(engine.AggCount, "rt", "n")},
+	)
+	return p
+}
+
+// buildJoinAggCombined chains a shuffle join into a multi-aggregate — the
+// D4/D5 shape with a numeric aggregate next to the collected list, so both
+// kernels run back to back over the same shuffled data.
+func buildJoinAggCombined() *engine.Pipeline {
+	p := engine.NewPipeline()
+	readI := p.Source("dblp.json")
+	inproc := p.Filter(readI, engine.Eq(engine.Col("record_type"), engine.LitString("inproceedings")))
+	selI := p.Select(inproc,
+		engine.StructField("paper",
+			engine.Column("key", "key"),
+			engine.Column("title", "title"),
+		),
+		engine.Column("year", "year"),
+		engine.Column("crossref", "crossref"),
+	)
+	readP := p.Source("dblp.json")
+	proc := p.Filter(readP, engine.Eq(engine.Col("record_type"), engine.LitString("proceedings")))
+	selP := p.Select(proc,
+		engine.Column("pkey", "key"),
+		engine.Column("ptitle", "title"),
+	)
+	joined := p.Join(selI, selP, engine.Col("crossref"), engine.Col("pkey"))
+	p.Aggregate(joined,
+		[]engine.GroupKey{engine.Key("pkey"), engine.Key("ptitle")},
+		[]engine.AggSpec{
+			engine.Agg(engine.AggCollectList, "paper", "inproceedings"),
+			engine.Agg(engine.AggCount, "paper", "n_papers"),
+			engine.Agg(engine.AggMax, "year", "latest"),
+		},
+	)
+	return p
+}
+
+// JoinAggSweep measures the vectorized join-probe and aggregate kernels
+// against the scalar reference path for every join/aggregate-dominated
+// scenario, plain and under capture. The executor pairs are interleaved per
+// round and estimated by the per-round minimum (measurePairMin, ~25ms
+// calibrated regions), and each scenario's runs share one generated input.
+func JoinAggSweep(cfg Config, sweep Sweep) ([]JoinAggRow, error) {
+	cfg = cfg.withDefaults()
+	gb := 10
+	if len(sweep.SimGBs) > 0 {
+		gb = sweep.SimGBs[0]
+	}
+	scale := ScaleFor(gb, sweep.TweetsPerGB, sweep.RecordsPerGB)
+	var rows []JoinAggRow
+	for _, sc := range joinAggScenarios() {
+		row, err := joinAggScenarioRun(cfg, sc, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func joinAggScenarioRun(cfg Config, sc joinAggScenario, scale workload.Scale) (JoinAggRow, error) {
+	var inputs map[string]*engine.Dataset
+	if sc.dataset == "twitter" {
+		inputs = workload.TwitterInput(scale, cfg.Partitions)
+	} else {
+		inputs = workload.DBLPInput(scale, cfg.Partitions)
+	}
+	vecOpts := cfg.options()
+	vecOpts.BroadcastJoinThreshold = sc.threshold
+	rowOpts := vecOpts
+	rowOpts.ScalarFallback = true
+	row := JoinAggRow{Scenario: sc.name, Description: sc.desc, SimGB: scale.SimGB}
+
+	plain := func(opts engine.Options) func() error {
+		return func() error {
+			_, err := engine.Run(sc.build(), inputs, opts)
+			return err
+		}
+	}
+	capture := func(opts engine.Options) func() error {
+		return func() error {
+			_, _, err := provenance.Capture(sc.build(), inputs, opts)
+			return err
+		}
+	}
+
+	// Two temporally separated passes per pair, keeping each side's minimum
+	// (see vectorScenario for the noise argument).
+	for pass := 0; pass < 2; pass++ {
+		vp, rp, err := measurePairMin(cfg, plain(vecOpts), plain(rowOpts))
+		if err != nil {
+			return JoinAggRow{}, err
+		}
+		vc, rc, err := measurePairMin(cfg, capture(vecOpts), capture(rowOpts))
+		if err != nil {
+			return JoinAggRow{}, err
+		}
+		if pass == 0 || vp < row.VecPlain {
+			row.VecPlain = vp
+		}
+		if pass == 0 || rp < row.RowPlain {
+			row.RowPlain = rp
+		}
+		if pass == 0 || vc < row.VecCapture {
+			row.VecCapture = vc
+		}
+		if pass == 0 || rc < row.RowCapture {
+			row.RowCapture = rc
+		}
+	}
+	if row.VecPlain > 0 {
+		row.PlainSpeedup = float64(row.RowPlain) / float64(row.VecPlain)
+	}
+	if row.VecCapture > 0 {
+		row.CaptureSpeedup = float64(row.RowCapture) / float64(row.VecCapture)
+	}
+
+	// Byte-identity cross-check: one capture per executor, compared on
+	// result rows (ids and values) and the serialized provenance stream.
+	render := func(opts engine.Options) (string, []byte, error) {
+		res, run, err := provenance.Capture(sc.build(), inputs, opts)
+		if err != nil {
+			return "", nil, err
+		}
+		var sb strings.Builder
+		for _, r := range res.Output.Rows() {
+			fmt.Fprintf(&sb, "%d:%s\n", r.ID, r.Value)
+		}
+		var stream bytes.Buffer
+		if _, err := run.WriteTo(&stream); err != nil {
+			return "", nil, err
+		}
+		return sb.String(), stream.Bytes(), nil
+	}
+	vecRows, vecStream, err := render(vecOpts)
+	if err != nil {
+		return JoinAggRow{}, err
+	}
+	rowRows, rowStream, err := render(rowOpts)
+	if err != nil {
+		return JoinAggRow{}, err
+	}
+	row.Identical = vecRows == rowRows && bytes.Equal(vecStream, rowStream)
+	return row, nil
+}
+
+// RenderJoinAgg renders the join/aggregate kernel sweep.
+func RenderJoinAgg(title string, rows []JoinAggRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-4s %10s %10s %8s %10s %10s %8s %5s  %s\n",
+		title, "S", "vec", "row", "speedup", "vec+cap", "row+cap", "speedup", "ident", "scenario")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %10s %10s %7.2fx %10s %10s %7.2fx %5v  %s\n",
+			r.Scenario, fmtDur(r.VecPlain), fmtDur(r.RowPlain), r.PlainSpeedup,
+			fmtDur(r.VecCapture), fmtDur(r.RowCapture), r.CaptureSpeedup,
+			r.Identical, r.Description)
+	}
+	return sb.String()
+}

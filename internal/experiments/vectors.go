@@ -62,7 +62,7 @@ func vectorScenario(cfg Config, sc workload.Scenario, scale workload.Scale) (Vec
 	inputs := sc.Input(scale, cfg.Partitions)
 	vecOpts := cfg.options()
 	rowOpts := vecOpts
-	rowOpts.RowExecution = true
+	rowOpts.ScalarFallback = true
 	row := VectorRow{Scenario: sc.Name, SimGB: scale.SimGB}
 
 	plain := func(opts engine.Options) func() error {

@@ -53,7 +53,7 @@ func TestSufficiencyInvariant(t *testing.T) {
 		checked++
 		r := rand.New(rand.NewSource(seed))
 		inputs := spec.Inputs(3)
-		res, run, err := provenance.Capture(pipe, inputs, engine.Options{Partitions: 3})
+		res, run, err := provenance.Capture(pipe, inputs, spec.ExecOptions(engine.Options{Partitions: 3}))
 		if err != nil {
 			t.Fatalf("trial %d: capture: %v\nplan:\n%s", trial, err, pipe)
 		}
@@ -110,7 +110,7 @@ func TestSufficiencyInvariant(t *testing.T) {
 			}
 			reducedInputs[name] = engine.NewDataset(name, reduced, 3, gen2)
 		}
-		res2, err := engine.Run(pipe, reducedInputs, engine.Options{Partitions: 3})
+		res2, err := engine.Run(pipe, reducedInputs, spec.ExecOptions(engine.Options{Partitions: 3}))
 		if err != nil {
 			t.Fatalf("trial %d: reduced run: %v", trial, err)
 		}
@@ -171,7 +171,7 @@ func TestAssociationClosureInvariant(t *testing.T) {
 	const trials = 40
 	for trial := 0; trial < trials; trial++ {
 		spec, pipe := buildSpec(t, int64(5000+trial))
-		res, run, err := provenance.Capture(pipe, spec.Inputs(2), engine.Options{Partitions: 2})
+		res, run, err := provenance.Capture(pipe, spec.Inputs(2), spec.ExecOptions(engine.Options{Partitions: 2}))
 		if err != nil {
 			t.Fatalf("trial %d: %v\nplan:\n%s", trial, err, pipe)
 		}
@@ -243,9 +243,9 @@ func TestDeterminismInvariant(t *testing.T) {
 			var res *engine.Result
 			var err error
 			if capture {
-				res, _, err = provenance.Capture(pipe, inputs, engine.Options{Partitions: 3})
+				res, _, err = provenance.Capture(pipe, inputs, spec.ExecOptions(engine.Options{Partitions: 3}))
 			} else {
-				res, err = engine.Run(pipe, inputs, engine.Options{Partitions: 3})
+				res, err = engine.Run(pipe, inputs, spec.ExecOptions(engine.Options{Partitions: 3}))
 			}
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
@@ -274,7 +274,7 @@ func TestBacktraceTotalCoverage(t *testing.T) {
 	const trials = 20
 	for trial := 0; trial < trials; trial++ {
 		spec, pipe := buildSpec(t, int64(7000+trial))
-		res, run, err := provenance.Capture(pipe, spec.Inputs(2), engine.Options{Partitions: 2})
+		res, run, err := provenance.Capture(pipe, spec.Inputs(2), spec.ExecOptions(engine.Options{Partitions: 2}))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -330,7 +330,7 @@ func TestOptimizerPreservesResultsAndProvenance(t *testing.T) {
 			optimizedAtLeastOnce = true
 		}
 		runOne := func(p *engine.Pipeline) (*engine.Result, *provenance.Run) {
-			res, run, err := provenance.Capture(p, spec.Inputs(3), engine.Options{Partitions: 3})
+			res, run, err := provenance.Capture(p, spec.Inputs(3), spec.ExecOptions(engine.Options{Partitions: 3}))
 			if err != nil {
 				t.Fatalf("trial %d: %v\nplan:\n%s", trial, err, p)
 			}

@@ -59,7 +59,7 @@ func CheckExecPath(build func() *engine.Pipeline, inputs map[string]*engine.Data
 			lineageFP string
 		}
 		for i, rowExec := range []bool{false, true} {
-			opts := engine.Options{Partitions: cfg.Partitions, Workers: w, RowExecution: rowExec}
+			opts := engine.Options{Partitions: cfg.Partitions, Workers: w, ScalarFallback: rowExec}
 			res, run, err := provenance.Capture(build(), inputs, opts)
 			if err != nil {
 				return fail(KindRun, fmt.Sprintf("rowExec=%v: %v", rowExec, err), w)

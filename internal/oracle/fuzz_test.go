@@ -53,7 +53,7 @@ func FuzzSpecJSON(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if _, err := engine.Run(p, s.Inputs(2), engine.Options{Partitions: 2}); err != nil {
+		if _, err := engine.Run(p, s.Inputs(2), s.ExecOptions(engine.Options{Partitions: 2})); err != nil {
 			return
 		}
 		again, err := json.Marshal(&s)

@@ -165,7 +165,7 @@ func runModes(s *corpus.Spec, pipe *engine.Pipeline, inputs map[string]*engine.D
 	fail := func(kind, detail string) (*artifacts, *Disagreement) {
 		return nil, &Disagreement{Kind: kind, Detail: detail, Workers: workers, Seed: s.Seed}
 	}
-	opts := engine.Options{Partitions: cfg.Partitions, Workers: workers, RowExecution: rowExec}
+	opts := s.ExecOptions(engine.Options{Partitions: cfg.Partitions, Workers: workers, ScalarFallback: rowExec})
 
 	// Mode 1: no capture — the plain run is the result baseline.
 	resNone, err := engine.Run(pipe, inputs, opts)

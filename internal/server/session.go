@@ -36,10 +36,9 @@ type session struct {
 
 func newSession(spec sdk.SessionSpec) *session {
 	base := core.Session{
-		Partitions:   spec.Partitions,
-		Workers:      spec.Workers,
-		Sequential:   spec.Sequential,
-		RowExecution: spec.RowExecution,
+		Partitions: spec.Partitions,
+		Workers:    spec.Workers,
+		Sequential: spec.Sequential,
 	}
 	return &session{
 		name:         spec.Name,
@@ -65,14 +64,13 @@ func (s *session) info() sdk.SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return sdk.SessionInfo{
-		Name:         s.name,
-		Partitions:   s.base.ResolvePartitions(0),
-		Workers:      s.base.Workers,
-		Sequential:   s.base.Sequential,
-		RowExecution: s.base.RowExecution,
-		Created:      s.created,
-		Datasets:     len(s.datasets),
-		Jobs:         len(s.jobs),
+		Name:       s.name,
+		Partitions: s.base.ResolvePartitions(0),
+		Workers:    s.base.Workers,
+		Sequential: s.base.Sequential,
+		Created:    s.created,
+		Datasets:   len(s.datasets),
+		Jobs:       len(s.jobs),
 	}
 }
 

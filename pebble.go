@@ -75,12 +75,6 @@ func WithSequential() Option { return core.WithSequential() }
 // WithAnalyzeFirst type-checks plans against input schemas before running.
 func WithAnalyzeFirst() Option { return core.WithAnalyzeFirst() }
 
-// WithRowExecution forces the legacy row-at-a-time execution path. The
-// vectorized (columnar) executor is the default; both produce byte-identical
-// results, identifiers, and provenance, so this exists for differential
-// testing and as an escape hatch while the row path is deprecated.
-func WithRowExecution() Option { return core.WithRowExecution() }
-
 // WithRecorder attaches an observability recorder to the session; every run
 // reports per-operator counters and timing spans into it.
 func WithRecorder(rec *Recorder) Option { return core.WithRecorder(rec) }

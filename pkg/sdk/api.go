@@ -39,23 +39,21 @@ const (
 // defaults (precedence: explicit > session > engine default, exactly as in
 // the library).
 type SessionSpec struct {
-	Name         string `json:"name"`
-	Partitions   int    `json:"partitions,omitempty"`
-	Workers      int    `json:"workers,omitempty"`
-	Sequential   bool   `json:"sequential,omitempty"`
-	RowExecution bool   `json:"row_execution,omitempty"`
+	Name       string `json:"name"`
+	Partitions int    `json:"partitions,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Sequential bool   `json:"sequential,omitempty"`
 }
 
 // SessionInfo describes one live session.
 type SessionInfo struct {
-	Name         string    `json:"name"`
-	Partitions   int       `json:"partitions"`
-	Workers      int       `json:"workers"`
-	Sequential   bool      `json:"sequential,omitempty"`
-	RowExecution bool      `json:"row_execution,omitempty"`
-	Created      time.Time `json:"created"`
-	Datasets     int       `json:"datasets"`
-	Jobs         int       `json:"jobs"`
+	Name       string    `json:"name"`
+	Partitions int       `json:"partitions"`
+	Workers    int       `json:"workers"`
+	Sequential bool      `json:"sequential,omitempty"`
+	Created    time.Time `json:"created"`
+	Datasets   int       `json:"datasets"`
+	Jobs       int       `json:"jobs"`
 }
 
 // DatasetInfo describes one registered dataset.
